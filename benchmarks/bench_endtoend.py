@@ -1,0 +1,18 @@
+"""Bench: regenerate §5.2-5.3 (full hierarchy incl. registers, 99.03 %)."""
+
+from conftest import run_once
+
+from repro.experiments import endtoend
+
+
+def test_endtoend_recognition(benchmark, bench_scale, save_result):
+    table = run_once(benchmark, lambda: endtoend.run(bench_scale))
+    save_result("endtoend", table.render())
+    by_level = {row["level"]: row["SR (%)"] for row in table.rows}
+    # Paper: groups 99.85-99.93 %, instructions >= 99.5 %, Rd 99.9 %,
+    # Rr 99.6 %, combined >= 99.03 %.
+    assert by_level["groups (level 1)"] >= 99.0
+    assert by_level["opcode end-to-end"] >= 95.0
+    assert by_level["Rd register"] >= 95.0
+    assert by_level["Rr register"] >= 95.0
+    assert by_level["combined (opcode x Rd x Rr)"] >= 88.0

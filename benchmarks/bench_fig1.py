@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 1 (process flow with measured dimensions)."""
+
+from conftest import run_once
+
+from repro.experiments import fig1
+
+
+def test_fig1_process_flow(benchmark, bench_scale, save_result):
+    table = run_once(benchmark, lambda: fig1.run(bench_scale))
+    save_result("fig1", table.render())
+    assert len(table.rows) == 7
+    dims = table.column("dimension")
+    assert dims[1].endswith("15750")  # 50 x 315 plane
+    n_points = int(dims[2])
+    assert 0 < n_points < 15750  # the 98+ % reduction of §3.1

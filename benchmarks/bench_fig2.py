@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 2 (DNVP feature point extraction, ADC vs AND)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2_feature_extraction(benchmark, bench_scale, save_result):
+    from repro.experiments.plots import ascii_heatmap
+
+    table, fields = run_once(benchmark, lambda: fig2.run(bench_scale))
+    heatmap = ascii_heatmap(
+        fields.between,
+        title="between-class KL field, ADC vs AND (X = selected DNVP)",
+        marks=fields.selected,
+    )
+    save_result("fig2", table.render() + "\n\n" + heatmap)
+    assert fields.between.shape == (50, 315)  # the paper's 15,750 points
+    assert len(fields.selected) == 5          # top-5 DNVP per pair
+    assert fields.peaks.sum() > 10
+    # Selected points must be among the between-class peaks.
+    for (j, k) in fields.selected:
+        assert fields.peaks[j, k]

@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 3 (best vs worst feature choice under shift)."""
+
+from conftest import run_once
+
+from repro.experiments import fig3
+
+
+def test_fig3_feature_choice_contrast(benchmark, bench_scale, save_result):
+    from repro.experiments.plots import ascii_scatter
+
+    table, data = run_once(benchmark, lambda: fig3.run(bench_scale))
+    pids = data["program_ids"]
+    plots = []
+    for label in ("worst", "best"):
+        values = data[label]
+        groups = {
+            f"program {pid}": values[pids == pid] for pid in set(pids)
+        }
+        plots.append(
+            ascii_scatter(groups, title=f"AND traces, {label} 3 features")
+        )
+    save_result("fig3", table.render() + "\n\n" + "\n\n".join(plots))
+    worst = table.rows[0]["separation score"]
+    best = table.rows[1]["separation score"]
+    # Paper: highest peaks scatter the two programs into separate clusters;
+    # stable peaks keep them in one cluster.
+    assert worst > 2.0 * best
+    assert best < 1.0

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 4 (pipeline schedule + segment template)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4_pipeline_template(benchmark, bench_scale, save_result):
+    table, window = run_once(benchmark, lambda: fig4.run(bench_scale))
+    save_result("fig4", table.render())
+    assert len(window) == 315  # the paper's profiling window
+    schedule = [row["execute stage"] for row in table.rows]
+    assert schedule[0].startswith("sbi")
+    assert schedule[3].startswith("add")
+    assert schedule[-1].startswith("cbi")

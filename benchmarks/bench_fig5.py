@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 5 (SR vs #PCs for groups and group-1)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_pc_sweep(benchmark, bench_scale, save_result):
+    out = run_once(benchmark, lambda: fig5.run(bench_scale))
+    groups, group1 = out["groups"], out["group1"]
+    save_result("fig5a_groups", groups.render())
+    save_result("fig5b_group1", group1.render())
+
+    last_pc = groups.columns[-1]
+    first_pc = groups.columns[1]
+    for table in (groups, group1):
+        for row in table.rows:
+            # Paper shape: SR climbs with the number of PCs.
+            assert row[last_pc] >= row[first_pc] - 1.0, (table.title, row)
+
+    # Paper shape: SVM and QDA saturate highest (99.85 / 99.93 % for
+    # groups; 99.7 % for group 1); LDA and naive Bayes trail them.
+    for table in (groups, group1):
+        by_name = {row["classifier"]: row for row in table.rows}
+        assert by_name["SVM"][last_pc] >= 98.0
+        assert by_name["QDA"][last_pc] >= 97.0
+        assert by_name["SVM"][last_pc] >= by_name["NaiveBayes"][last_pc]

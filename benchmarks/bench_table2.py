@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 2 (instruction grouping)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_grouping(benchmark, save_result):
+    table = run_once(benchmark, table2.run)
+    save_result("table2", table.render())
+    sizes = [row["# insts"] for row in table.rows]
+    assert sizes == [12, 10, 13, 20, 24, 15, 12, 6]
+    assert sum(sizes) == 112

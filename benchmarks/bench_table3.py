@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 3 (covariate shift adaptation)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_covariate_shift_adaptation(benchmark, bench_scale, save_result):
+    table = run_once(benchmark, lambda: table3.run(bench_scale))
+    save_result("table3", table.render())
+    for row in table.rows:
+        # Paper shape: collapse without CSA (18.5/19.2 %), partial rescue
+        # without normalization (54/58 %), strong rescue with it (92/93 %).
+        assert row["without CSA"] <= 60.0
+        assert row["CSA with norm"] >= 80.0
+        assert row["CSA with norm"] >= row["without CSA"] + 20.0

@@ -1,0 +1,69 @@
+"""Performance microbenchmarks: the real-time-monitoring angle.
+
+The paper motivates few-variable classification with real-time constraints
+(§1: a distinguisher has only the processor's per-instruction throughput).
+These benchmarks measure our pipeline's classification latency per window
+and the substrate's capture throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SideChannelDisassembler
+from repro.dsp import CWT
+from repro.features import FeatureConfig
+from repro.ml import QDA
+from repro.power import Acquisition, PowerModel
+from repro.sim import AvrCpu
+
+
+@pytest.fixture(scope="module")
+def fitted_level():
+    acq = Acquisition(seed=77)
+    train = acq.capture_instruction_set(["ADD", "EOR", "LDS", "SEC"], 120, 4)
+    dis = SideChannelDisassembler(
+        FeatureConfig(kl_threshold="auto:0.9", n_components=15),
+        classifier_factory=QDA,
+    )
+    model = dis.fit_instruction_level(1, train)
+    test = acq.capture_instruction_set(["ADD", "EOR", "LDS", "SEC"], 60, 2)
+    return model, test
+
+
+def test_classify_batch_throughput(benchmark, fitted_level):
+    """Windows/second through transform + QDA predict."""
+    model, test = fitted_level
+    windows = test.traces
+
+    result = benchmark(lambda: model.predict(windows))
+    assert len(result) == len(windows)
+
+
+def test_cwt_full_plane_throughput(benchmark):
+    """Full 50x315 CWT images per second (profiling-time cost)."""
+    rng = np.random.default_rng(0)
+    traces = rng.normal(0, 1, (64, 315)).astype(np.float32)
+    cwt = CWT(315)
+    images = benchmark(lambda: cwt.transform(traces))
+    assert images.shape == (64, 50, 315)
+
+
+def test_simulator_throughput(benchmark):
+    """Simulated instructions per second (capture-time cost)."""
+    program = "\n".join(["add r1, r2", "eor r3, r4", "lds r5, 0x0100"] * 200)
+
+    def run():
+        cpu = AvrCpu(program)
+        return cpu.run()
+
+    events = benchmark(run)
+    assert len(events) == 600
+
+
+def test_render_throughput(benchmark):
+    """Power-trace samples rendered per second."""
+    cpu = AvrCpu("\n".join(["add r1, r2"] * 300))
+    events = cpu.run()
+    model = PowerModel()
+    trace = benchmark(lambda: model.render_events(events))
+    assert len(trace) > 300 * 157

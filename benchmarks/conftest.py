@@ -1,0 +1,36 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables/figures at the
+``bench`` scale (override with ``REPRO_BENCH_SCALE=smoke|bench|paper``)
+and writes the rendered result table to ``benchmarks/results/`` so the
+regenerated numbers are inspectable after the run.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Scale preset used by all benchmarks."""
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered result table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run a whole-experiment benchmark exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

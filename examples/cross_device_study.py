@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Covariate shift in action: one trained device, five deployed siblings.
+
+Reproduces the §4/§5.5/§5.6 storyline interactively:
+
+1. templates trained on device "train" in one profiling campaign;
+2. five sibling chips deployed in fresh measurement sessions running a
+   real (mixed-instruction) program;
+3. classification with and without covariate shift adaptation, plus the
+   :class:`~repro.core.ShiftReport` diagnostic quantifying how far the
+   feature distribution moved.
+"""
+
+import numpy as np
+
+from repro.core import ShiftReport, SideChannelDisassembler
+from repro.experiments.configs import csa_config_full, no_csa_config
+from repro.ml import QDA
+from repro.power import Acquisition, SessionShift, make_devices
+
+CLASSES = ["ADC", "AND"]
+N_TRAIN = 600
+N_PROGRAMS = 19
+
+
+def main() -> None:
+    train_device, targets = make_devices(5, seed=7)
+    profiling = Acquisition(device=train_device, seed=2018)
+    print(
+        f"profiling {CLASSES} on device {train_device.name!r}: "
+        f"naive {N_TRAIN} traces/class over 9 files, "
+        f"CSA over {N_PROGRAMS} files"
+    )
+    # The paper's two training regimes: 9 program files for the naive
+    # templates, 19 for the adapted ones (§5.5).
+    train_naive = profiling.capture_instruction_set(CLASSES, N_TRAIN, 9)
+    train_csa = profiling.capture_instruction_set(
+        CLASSES, N_TRAIN, N_PROGRAMS
+    )
+
+    naive = SideChannelDisassembler(no_csa_config(), classifier_factory=QDA)
+    naive_model = naive.fit_instruction_level(1, train_naive)
+    adapted = SideChannelDisassembler(
+        csa_config_full(), classifier_factory=QDA
+    )
+    adapted_model = adapted.fit_instruction_level(1, train_csa)
+
+    print(f"\n{'device':>8} {'naive SR':>10} {'CSA SR':>10} {'mean shift':>12}")
+    for index, device in enumerate(targets):
+        session = SessionShift.sample(np.random.default_rng(500 + index))
+        deployed = Acquisition(
+            device=device, seed=3000 + index, session=session
+        )
+        test = deployed.capture_mixed_program(
+            CLASSES, n_per_class=150, program_id=index
+        )
+        naive_sr = naive_model.score(test)
+        csa_sr = adapted_model.score(test)
+        shift = ShiftReport.between(
+            naive_model.pipeline.transform(train_naive.traces, adapt=False),
+            naive_model.pipeline.transform(test.traces, adapt=False),
+        )
+        print(
+            f"{device.name:>8} {naive_sr * 100:9.1f}% {csa_sr * 100:9.1f}% "
+            f"{shift.mean_shift:11.2f}s"
+            + ("  << shifted" if shift.is_shifted else "")
+        )
+    print(
+        "\nnaive templates ride the highest KL peaks: on a lucky sibling "
+        "they still work,\nbut when the session drift lands on those "
+        "features the SR collapses toward chance.\nCSA (stable feature "
+        "points + batch normalization) trades a little peak accuracy\n"
+        "for consistency across every deployed device — the paper's "
+        "Table 4 behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

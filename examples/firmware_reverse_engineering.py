@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Reverse-engineer unknown firmware from its power trace alone.
+
+Deploys the full three-level hierarchy of the paper (§2.1): group ->
+instruction -> registers.  A "secret" firmware (never shown to the
+classifier) runs on the device; the side-channel disassembler recovers its
+instruction stream — opcodes plus register operands — from one window per
+executed instruction, and we score the recovery against ground truth.
+
+Note the caveat the paper itself makes (§6: real code is future work):
+fixed real-code contexts introduce systematic per-position biases, so
+positions are majority-voted across loop iterations.
+"""
+
+import numpy as np
+
+from repro.core import SideChannelDisassembler
+from repro.core.malware import majority_stream
+from repro.experiments.configs import register_config, stationary_config
+from repro.experiments.workloads import capture_group_set
+from repro.isa import assemble
+from repro.isa.groups import classification_classes
+from repro.ml import QDA
+from repro.power import Acquisition
+
+#: The "unknown" firmware: a checksum-ish loop over in-register data.
+SECRET_FIRMWARE = """
+    ldi r16, 0x1D   ; polynomial-ish constant
+    ldi r17, 0xA5   ; data byte
+    eor r17, r16
+    lsr r17
+    mov r18, r17
+    and r18, r16
+    add r17, r18
+    swap r17
+"""
+
+N_TRAIN = 200
+N_PROGRAMS = 8
+N_EXECUTIONS = 20
+REGISTERS = (0, 4, 8, 16, 17, 18, 24, 28)
+
+
+def main() -> None:
+    acq = Acquisition(seed=99)
+    print("building templates for groups 1-3 and registers...")
+    dis = SideChannelDisassembler(
+        stationary_config(30), classifier_factory=QDA
+    )
+    dis.fit_group_level(capture_group_set(acq, N_TRAIN, N_PROGRAMS))
+    for group in (1, 2, 3):
+        dis.fit_instruction_level(
+            group,
+            acq.capture_instruction_set(
+                classification_classes(group), N_TRAIN, N_PROGRAMS
+            ),
+        )
+    for role in ("Rd", "Rr"):
+        dis.fit_register_level(
+            role,
+            acq.capture_register_set(role, REGISTERS, N_TRAIN, N_PROGRAMS),
+            feature_config=register_config(30),
+        )
+
+    print("capturing the unknown firmware's power trace...")
+    bench = Acquisition(seed=99, program_shift=False)
+    capture = bench.capture_program(
+        "\n".join([SECRET_FIRMWARE] * N_EXECUTIONS)
+    )
+    observed = dis.disassemble(capture.windows, adapt=False)
+    period = len(assemble(SECRET_FIRMWARE))
+    recovered = majority_stream(observed, period)
+
+    truth = assemble(SECRET_FIRMWARE)
+    print(f"\n{'recovered from power':<28}   ground truth")
+    print("-" * 58)
+    n_opcode = n_full = 0
+    for instr, golden in zip(recovered, truth):
+        golden_regs = [
+            v for op, v in zip(golden.spec.operands, golden.values)
+            if op.kind.name in ("REG", "REG_HIGH")
+        ]
+        opcode_ok = instr.key == golden.spec.key
+        regs_ok = opcode_ok and (
+            (instr.rd is None or not golden_regs or instr.rd == golden_regs[0])
+            and (
+                instr.rr is None
+                or len(golden_regs) < 2
+                or instr.rr == golden_regs[1]
+            )
+        )
+        n_opcode += opcode_ok
+        n_full += regs_ok
+        marker = "  " if regs_ok else ("~ " if opcode_ok else "! ")
+        print(f"{marker}{instr.text:<28} | {golden.text()}")
+    print("-" * 58)
+    print(
+        f"opcodes recovered: {n_opcode}/{len(truth)}, "
+        f"with registers: {n_full}/{len(truth)} "
+        f"(majority over {N_EXECUTIONS} executions)"
+    )
+
+
+if __name__ == "__main__":
+    main()

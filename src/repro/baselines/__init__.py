@@ -1,0 +1,11 @@
+"""Baseline disassemblers from prior work (Table 1 comparison)."""
+
+from .eisenbarth import EisenbarthDisassembler
+from .flat import FlatDisassembler
+from .msgna import MsgnaDisassembler
+
+__all__ = [
+    "EisenbarthDisassembler",
+    "FlatDisassembler",
+    "MsgnaDisassembler",
+]

@@ -1,0 +1,74 @@
+"""Flat (non-hierarchical) classifier baseline.
+
+Classifies all instruction classes in one multiclass problem — the
+approach the paper's hierarchical framework replaces.  Used by the
+hierarchy-vs-flat ablation bench: accuracy is comparable, but the
+number of one-vs-one machines explodes (6216 for 112 classes vs at most
+218 hierarchically).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..features.pipeline import FeatureConfig, FeaturePipeline
+from ..ml.base import Classifier
+from ..ml.discriminant import QDA
+from ..power.dataset import TraceSet
+
+__all__ = ["FlatDisassembler"]
+
+
+class FlatDisassembler:
+    """One flat multiclass model over every instruction class.
+
+    Args:
+        feature_config: shared feature pipeline settings.
+        classifier_factory: multiclass classifier constructor.
+    """
+
+    def __init__(
+        self,
+        feature_config: Optional[FeatureConfig] = None,
+        classifier_factory: Callable[[], Classifier] = QDA,
+    ):
+        self.feature_config = (
+            feature_config if feature_config is not None else FeatureConfig()
+        )
+        self.classifier_factory = classifier_factory
+        self.pipeline: Optional[FeaturePipeline] = None
+        self.classifier: Optional[Classifier] = None
+        self.label_names = ()
+
+    def fit(self, trace_set: TraceSet) -> "FlatDisassembler":
+        """Fit the pipeline and one multiclass classifier."""
+        self.label_names = trace_set.label_names
+        self.pipeline = FeaturePipeline(self.feature_config)
+        self.pipeline.fit(
+            trace_set.traces,
+            trace_set.labels,
+            trace_set.program_ids,
+            trace_set.label_names,
+        )
+        features = self.pipeline.transform(trace_set.traces)
+        self.classifier = self.classifier_factory()
+        self.classifier.fit(features, trace_set.labels)
+        return self
+
+    def predict(self, traces: np.ndarray) -> np.ndarray:
+        """Predict integer class codes."""
+        if self.pipeline is None or self.classifier is None:
+            raise RuntimeError("baseline is not fitted")
+        return self.classifier.predict(self.pipeline.transform(traces))
+
+    def score(self, trace_set: TraceSet) -> float:
+        """Successful recognition rate."""
+        return float(np.mean(self.predict(trace_set.traces) == trace_set.labels))
+
+    @property
+    def n_binary_classifiers(self) -> int:
+        """One-vs-one machine count an SVM would need at this class count."""
+        k = len(self.label_names)
+        return k * (k - 1) // 2

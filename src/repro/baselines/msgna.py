@@ -1,0 +1,60 @@
+"""Msgna et al. baseline: PCA + k(=1)-nearest-neighbour templates.
+
+Msgna, Markantonakis and Mayes ("Precise Instruction-Level Side Channel
+Profiling of Embedded Processors", 2014 — Table 1's second column) classify
+raw power traces by projecting onto principal components and running 1-NN.
+No time-frequency transform, no KL feature selection, no covariate shift
+handling — which is exactly what our Table 1 / ablation benches contrast
+against the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..features.pca import PCA
+from ..ml.knn import KNeighborsClassifier
+from ..power.dataset import TraceSet
+
+__all__ = ["MsgnaDisassembler"]
+
+
+class MsgnaDisassembler:
+    """PCA + kNN template classifier on raw time-domain traces.
+
+    Args:
+        n_components: principal components retained.
+        n_neighbors: k for the vote (Msgna et al. use 1).
+    """
+
+    def __init__(self, n_components: int = 25, n_neighbors: int = 1):
+        self.n_components = n_components
+        self.n_neighbors = n_neighbors
+        self.pca: Optional[PCA] = None
+        self.knn: Optional[KNeighborsClassifier] = None
+        self.label_names = ()
+
+    def fit(self, trace_set: TraceSet) -> "MsgnaDisassembler":
+        """Fit PCA + kNN templates on labelled traces."""
+        self.label_names = trace_set.label_names
+        self.pca = PCA(n_components=self.n_components)
+        projected = self.pca.fit_transform(
+            np.asarray(trace_set.traces, dtype=np.float64)
+        )
+        self.knn = KNeighborsClassifier(n_neighbors=self.n_neighbors)
+        self.knn.fit(projected, trace_set.labels)
+        return self
+
+    def predict(self, traces: np.ndarray) -> np.ndarray:
+        """Predict integer class codes."""
+        if self.pca is None or self.knn is None:
+            raise RuntimeError("baseline is not fitted")
+        return self.knn.predict(
+            self.pca.transform(np.asarray(traces, dtype=np.float64))
+        )
+
+    def score(self, trace_set: TraceSet) -> float:
+        """Successful recognition rate."""
+        return float(np.mean(self.predict(trace_set.traces) == trace_set.labels))

@@ -1,0 +1,33 @@
+"""The power side-channel disassembler (paper's primary contribution)."""
+
+from .adaptation import CSA_THRESHOLD_FACTOR, ShiftReport, csa_config
+from .hierarchy import LevelModel, SideChannelDisassembler
+from .malware import (
+    DifferentialDetector,
+    Discrepancy,
+    GoldenReference,
+    MalwareDetector,
+    MalwareReport,
+    majority_stream,
+)
+from .sequence import SequenceDisassembler
+from .types import DisassembledInstruction, render_partial
+from .voting import PairwiseVotingClassifier
+
+__all__ = [
+    "CSA_THRESHOLD_FACTOR",
+    "DifferentialDetector",
+    "DisassembledInstruction",
+    "Discrepancy",
+    "majority_stream",
+    "GoldenReference",
+    "LevelModel",
+    "MalwareDetector",
+    "MalwareReport",
+    "PairwiseVotingClassifier",
+    "SequenceDisassembler",
+    "ShiftReport",
+    "SideChannelDisassembler",
+    "csa_config",
+    "render_partial",
+]

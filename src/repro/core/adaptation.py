@@ -1,0 +1,86 @@
+"""Covariate shift adaptation (CSA, paper §4 and §5.5-5.6).
+
+The paper's recipe to survive program-to-program, time-to-time and
+device-to-device distribution shift:
+
+1. **widen the sample space** — profile across more program files
+   (9 -> 19), so "not-varying" is certified against more environments;
+2. **tighten** the within-class threshold ``KL_th`` (0.005 -> 0.0005), so
+   only genuinely stable time-frequency points survive;
+3. **normalize** the selected feature values, shrinking the residual
+   shifted range (Table 3: QDA 18.5 % -> 92 % with normalization).  We
+   implement the normalization as per-batch column standardization
+   (``normalize="batch"``), which provably removes per-environment
+   gain/tilt when the evaluation batch comes from one environment.
+
+Steps 2-3 are configuration (:func:`csa_config`); step 1 is data (capture
+with more program files).  :class:`ShiftReport` quantifies how much a
+feature distribution moved between profiling and deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..features.pipeline import FeatureConfig
+
+__all__ = ["csa_config", "ShiftReport", "CSA_THRESHOLD_FACTOR"]
+
+#: The paper tightens KL_th by one order of magnitude (0.005 -> 0.0005).
+CSA_THRESHOLD_FACTOR = 0.1
+
+
+def csa_config(base: Optional[FeatureConfig] = None) -> FeatureConfig:
+    """Covariate-shift-adapted variant of a feature configuration.
+
+    Tightens ``KL_th`` by :data:`CSA_THRESHOLD_FACTOR` (numeric thresholds
+    only; ``"auto"`` mode already adapts to the noise floor) and switches
+    on batch normalization.
+    """
+    base = base if base is not None else FeatureConfig()
+    threshold = base.kl_threshold
+    if not isinstance(threshold, str):
+        threshold = threshold * CSA_THRESHOLD_FACTOR
+    return base.with_overrides(kl_threshold=threshold, normalize="batch")
+
+
+@dataclass(frozen=True)
+class ShiftReport:
+    """Covariate shift diagnostics between two feature samples.
+
+    Attributes:
+        mean_shift: per-dimension |mean difference| in train-std units,
+            averaged over dimensions.
+        max_shift: worst single dimension, same units.
+        variance_ratio: mean test/train variance ratio.
+    """
+
+    mean_shift: float
+    max_shift: float
+    variance_ratio: float
+
+    @classmethod
+    def between(
+        cls, train_features: np.ndarray, test_features: np.ndarray
+    ) -> "ShiftReport":
+        """Measure the shift of test features relative to training."""
+        train = np.asarray(train_features, dtype=np.float64)
+        test = np.asarray(test_features, dtype=np.float64)
+        train_std = train.std(axis=0)
+        train_std = np.where(train_std == 0, 1.0, train_std)
+        shift = np.abs(test.mean(axis=0) - train.mean(axis=0)) / train_std
+        test_var = test.var(axis=0)
+        train_var = np.where(train.var(axis=0) == 0, 1.0, train.var(axis=0))
+        return cls(
+            mean_shift=float(shift.mean()),
+            max_shift=float(shift.max()),
+            variance_ratio=float((test_var / train_var).mean()),
+        )
+
+    @property
+    def is_shifted(self) -> bool:
+        """Heuristic: a mean shift above half a std indicates trouble."""
+        return self.mean_shift > 0.5

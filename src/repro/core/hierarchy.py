@@ -1,0 +1,335 @@
+"""The hierarchical side-channel disassembler (the paper's contribution).
+
+Classification is performed in three levels (§2.1):
+
+1. **group level** — a measured window is classified into one of the 8
+   Table 2 instruction groups;
+2. **instruction level** — it is classified into a specific instruction
+   class within the predicted group;
+3. **operand level** — the destination (Rd) and source (Rr) register
+   addresses are recovered by dedicated 32-class classifiers.
+
+Each level owns its feature pipeline (CWT -> KL/DNVP -> normalize -> PCA)
+and a template classifier.  The hierarchy slashes the number of binary
+classifiers needed: for 112 classes, flat one-vs-one SVM needs 6216
+machines, hierarchical at most C(8,2) + C(20,2) = 218.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..features.pipeline import FeatureConfig, FeaturePipeline
+from ..isa import REGISTRY, OperandKind
+from ..ml.base import Classifier
+from ..ml.discriminant import QDA
+from ..power.dataset import TraceSet
+from .types import DisassembledInstruction
+
+__all__ = ["LevelModel", "SideChannelDisassembler"]
+
+
+@dataclass
+class LevelModel:
+    """One fitted classification level: feature pipeline + classifier."""
+
+    pipeline: FeaturePipeline
+    classifier: Classifier
+    label_names: Tuple[str, ...]
+
+    @classmethod
+    def train(
+        cls,
+        trace_set: TraceSet,
+        feature_config: FeatureConfig,
+        classifier_factory: Callable[[], Classifier],
+    ) -> "LevelModel":
+        """Fit a level on a labelled trace set."""
+        pipeline = FeaturePipeline(feature_config)
+        pipeline.fit(
+            trace_set.traces,
+            trace_set.labels,
+            trace_set.program_ids,
+            trace_set.label_names,
+        )
+        features = pipeline.transform(trace_set.traces)
+        classifier = classifier_factory()
+        classifier.fit(features, trace_set.labels)
+        return cls(
+            pipeline=pipeline,
+            classifier=classifier,
+            label_names=trace_set.label_names,
+        )
+
+    def predict(
+        self,
+        windows: np.ndarray,
+        n_components: Optional[int] = None,
+        adapt: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Predict integer codes for raw windows."""
+        features = self.pipeline.transform(windows, n_components, adapt=adapt)
+        return self.classifier.predict(features)
+
+    def predict_keys(
+        self, windows: np.ndarray, adapt: Optional[bool] = None
+    ) -> List[str]:
+        """Predict class keys for raw windows."""
+        return [
+            self.label_names[code]
+            for code in self.predict(windows, adapt=adapt)
+        ]
+
+    def score(self, trace_set: TraceSet) -> float:
+        """Successful recognition rate on a labelled trace set."""
+        predictions = self.predict(trace_set.traces)
+        return float(np.mean(predictions == trace_set.labels))
+
+
+_REG_KINDS = (OperandKind.REG, OperandKind.REG_HIGH)
+
+
+class SideChannelDisassembler:
+    """Three-level hierarchical power-trace disassembler.
+
+    Args:
+        feature_config: default feature pipeline configuration for all
+            levels (override per level at fit time if needed).
+        classifier_factory: template classifier constructor (paper
+            compares LDA / QDA / SVM / naive Bayes; QDA by default).
+
+    Typical use::
+
+        dis = SideChannelDisassembler()
+        dis.fit_group_level(group_traces)
+        dis.fit_instruction_level(1, group1_traces)
+        ...
+        dis.fit_register_level("Rd", rd_traces)
+        instructions = dis.disassemble(windows)
+    """
+
+    def __init__(
+        self,
+        feature_config: Optional[FeatureConfig] = None,
+        classifier_factory: Callable[[], Classifier] = QDA,
+    ) -> None:
+        self.feature_config = (
+            feature_config if feature_config is not None else FeatureConfig()
+        )
+        self.classifier_factory = classifier_factory
+        self.group_model: Optional[LevelModel] = None
+        self.instruction_models: Dict[int, LevelModel] = {}
+        self.register_models: Dict[str, LevelModel] = {}
+
+    # -- training ----------------------------------------------------------
+    def fit_group_level(
+        self,
+        trace_set: TraceSet,
+        feature_config: Optional[FeatureConfig] = None,
+    ) -> LevelModel:
+        """Fit level 1 on group-labelled traces (labels ``"G1"``..``"G8"``)."""
+        self.group_model = LevelModel.train(
+            trace_set,
+            feature_config or self.feature_config,
+            self.classifier_factory,
+        )
+        return self.group_model
+
+    def fit_instruction_level(
+        self,
+        group: int,
+        trace_set: TraceSet,
+        feature_config: Optional[FeatureConfig] = None,
+    ) -> LevelModel:
+        """Fit level 2 for one group on instruction-labelled traces."""
+        model = LevelModel.train(
+            trace_set,
+            feature_config or self.feature_config,
+            self.classifier_factory,
+        )
+        self.instruction_models[group] = model
+        return model
+
+    def fit_register_level(
+        self,
+        role: str,
+        trace_set: TraceSet,
+        feature_config: Optional[FeatureConfig] = None,
+    ) -> LevelModel:
+        """Fit level 3 for one register role (``"Rd"`` or ``"Rr"``)."""
+        if role not in ("Rd", "Rr"):
+            raise ValueError("role must be 'Rd' or 'Rr'")
+        model = LevelModel.train(
+            trace_set,
+            feature_config or self.feature_config,
+            self.classifier_factory,
+        )
+        self.register_models[role] = model
+        return model
+
+    # -- inference -----------------------------------------------------------
+    def predict_groups(
+        self, windows: np.ndarray, adapt: Optional[bool] = None
+    ) -> np.ndarray:
+        """Level-1 prediction: group number per window."""
+        if self.group_model is None:
+            raise RuntimeError("group level is not fitted")
+        codes = self.group_model.predict(windows, adapt=adapt)
+        return np.array(
+            [int(self.group_model.label_names[c][1:]) for c in codes]
+        )
+
+    def predict_instructions(
+        self,
+        windows: np.ndarray,
+        groups: Optional[np.ndarray] = None,
+        adapt: Optional[bool] = None,
+    ) -> List[str]:
+        """Level-2 prediction: class key per window (hierarchical).
+
+        Note on ``adapt``: level-2 batches contain only the windows routed
+        to one group, so their class mixture is typically *not*
+        representative of training — pass ``adapt=False`` for real-code
+        streams unless the batch is known to be balanced.
+        """
+        windows = np.asarray(windows)
+        if groups is None:
+            groups = self.predict_groups(windows, adapt=adapt)
+        keys: List[Optional[str]] = [None] * len(windows)
+        for group in np.unique(groups):
+            model = self.instruction_models.get(int(group))
+            rows = np.flatnonzero(groups == group)
+            if model is None:
+                # Group without a fitted level 2: report the group only.
+                for row in rows:
+                    keys[row] = f"G{int(group)}?"
+                continue
+            predictions = model.predict_keys(windows[rows], adapt=adapt)
+            for row, key in zip(rows, predictions):
+                keys[row] = key
+        return [k if k is not None else "?" for k in keys]
+
+    def predict_register(
+        self, role: str, windows: np.ndarray, adapt: Optional[bool] = None
+    ) -> np.ndarray:
+        """Level-3 prediction: register address per window."""
+        model = self.register_models.get(role)
+        if model is None:
+            raise RuntimeError(f"register level {role!r} is not fitted")
+        codes = model.predict(windows, adapt=adapt)
+        return np.array(
+            [int(model.label_names[c][2:]) for c in codes]
+        )
+
+    def disassemble(
+        self, windows: np.ndarray, adapt: Optional[bool] = None
+    ) -> List[DisassembledInstruction]:
+        """Full hierarchical disassembly of a window sequence.
+
+        Args:
+            windows: profiling windows in program order.
+            adapt: batch-adaptation override; use ``False`` for real-code
+                streams whose instruction mixture is skewed (see
+                :meth:`predict_instructions`).
+        """
+        windows = np.asarray(windows)
+        groups = self.predict_groups(windows, adapt=adapt)
+        keys = self.predict_instructions(windows, groups, adapt=adapt)
+        rd = (
+            self.predict_register("Rd", windows, adapt=adapt)
+            if "Rd" in self.register_models
+            else [None] * len(windows)
+        )
+        rr = (
+            self.predict_register("Rr", windows, adapt=adapt)
+            if "Rr" in self.register_models
+            else [None] * len(windows)
+        )
+        out: List[DisassembledInstruction] = []
+        for i, key in enumerate(keys):
+            spec = REGISTRY.get(key)
+            want_rd = want_rr = False
+            if spec is not None:
+                reg_slots = [
+                    op.kind for op in spec.operands if op.kind in _REG_KINDS
+                ]
+                want_rd = len(reg_slots) >= 1
+                want_rr = len(reg_slots) >= 2
+            out.append(
+                DisassembledInstruction(
+                    key=key,
+                    group=int(groups[i]),
+                    rd=int(rd[i]) if want_rd and rd[i] is not None else None,
+                    rr=int(rr[i]) if want_rr and rr[i] is not None else None,
+                )
+            )
+        return out
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the fitted disassembler (templates included) to disk.
+
+        Uses pickle: load only files you created yourself.  The package
+        version is embedded and checked on load, since templates are only
+        meaningful against the same pipeline code.
+        """
+        import pickle
+        from pathlib import Path
+
+        from .. import __version__
+
+        payload = {
+            "version": __version__,
+            "feature_config": self.feature_config,
+            "group_model": self.group_model,
+            "instruction_models": self.instruction_models,
+            "register_models": self.register_models,
+        }
+        with Path(path).open("wb") as handle:
+            pickle.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path) -> "SideChannelDisassembler":
+        """Load a disassembler saved with :meth:`save`."""
+        import pickle
+        from pathlib import Path
+
+        from .. import __version__
+
+        with Path(path).open("rb") as handle:
+            payload = pickle.load(handle)
+        if payload.get("version") != __version__:
+            raise ValueError(
+                f"template file was written by repro "
+                f"{payload.get('version')!r}, this is {__version__!r}; "
+                f"re-train the templates"
+            )
+        instance = cls(feature_config=payload["feature_config"])
+        instance.group_model = payload["group_model"]
+        instance.instruction_models = payload["instruction_models"]
+        instance.register_models = payload["register_models"]
+        return instance
+
+    @property
+    def n_binary_classifiers_flat(self) -> int:
+        """One-vs-one classifier count a flat 112-class SVM would need."""
+        n = sum(len(m.label_names) for m in self.instruction_models.values())
+        return n * (n - 1) // 2
+
+    @property
+    def n_binary_classifiers_hierarchical(self) -> int:
+        """Worst-case one-vs-one count of the fitted hierarchy."""
+        n_groups = (
+            len(self.group_model.label_names) if self.group_model else 0
+        )
+        worst_group = max(
+            (len(m.label_names) for m in self.instruction_models.values()),
+            default=0,
+        )
+        return (
+            n_groups * (n_groups - 1) // 2
+            + worst_group * (worst_group - 1) // 2
+        )

@@ -1,0 +1,151 @@
+"""Sequence-aware disassembly: hierarchy posteriors + code statistics.
+
+The paper's outlook (§6) proposes combining the per-trace disassembler
+with static code analysis to increase accuracy on real code.  This module
+implements that: per-window class log-posteriors from the hierarchical
+templates are combined with an instruction-transition prior (estimated
+from representative code) and decoded with Viterbi over the whole stream.
+
+Per-window posteriors factor through the hierarchy::
+
+    log P(c | x) = log P(group(c) | x) + log P(c | x, group(c))
+
+Classifiers exposing ``predict_log_proba`` (LDA/QDA/naive Bayes)
+contribute calibrated posteriors; others degrade to hard one-hot scores.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..isa.assembler import assemble
+from ..ml.hmm import GaussianHMM, transition_matrix_from_sequences
+from .hierarchy import SideChannelDisassembler
+
+__all__ = ["SequenceDisassembler"]
+
+_LOG_FLOOR = -50.0
+
+
+def _log_posteriors(model, windows: np.ndarray, adapt) -> np.ndarray:
+    """(n, n_classes) log posterior from one level's classifier."""
+    features = model.pipeline.transform(windows, adapt=adapt)
+    classifier = model.classifier
+    if hasattr(classifier, "predict_log_proba"):
+        return classifier.predict_log_proba(features)
+    predictions = classifier.predict(features)
+    out = np.full((len(windows), len(model.label_names)), _LOG_FLOOR)
+    for row, predicted in enumerate(predictions):
+        out[row, int(predicted)] = 0.0
+    return out
+
+
+class SequenceDisassembler:
+    """Viterbi decoding of instruction streams over the fitted hierarchy.
+
+    Args:
+        disassembler: a fully fitted :class:`SideChannelDisassembler`
+            (group level + instruction levels for the groups of
+            interest).
+        smoothing: Laplace smoothing of the transition counts.
+
+    Typical use::
+
+        seq = SequenceDisassembler(dis)
+        seq.fit_prior_from_assembly([golden_source])
+        keys = seq.decode(capture.windows)
+    """
+
+    def __init__(
+        self,
+        disassembler: SideChannelDisassembler,
+        smoothing: float = 0.1,
+    ) -> None:
+        if disassembler.group_model is None:
+            raise ValueError("the hierarchy's group level is not fitted")
+        if not disassembler.instruction_models:
+            raise ValueError("no instruction levels are fitted")
+        self.disassembler = disassembler
+        self.smoothing = smoothing
+        # Flat class list: union of all fitted level-2 label spaces.
+        self.classes: List[str] = []
+        self._group_of_class: List[int] = []
+        for group, model in sorted(disassembler.instruction_models.items()):
+            for name in model.label_names:
+                self.classes.append(name)
+                self._group_of_class.append(group)
+        self._code_of = {name: i for i, name in enumerate(self.classes)}
+        self.hmm: Optional[GaussianHMM] = None
+
+    # -- prior ---------------------------------------------------------------
+    def fit_prior_from_sequences(
+        self, sequences: Sequence[Sequence[str]]
+    ) -> "SequenceDisassembler":
+        """Estimate the transition prior from key sequences."""
+        encoded = []
+        for sequence in sequences:
+            encoded.append(
+                [self._code_of[key] for key in sequence if key in self._code_of]
+            )
+        transitions = transition_matrix_from_sequences(
+            encoded, len(self.classes), self.smoothing
+        )
+        self.hmm = GaussianHMM(n_states=len(self.classes))
+        self.hmm.set_transitions(transitions)
+        return self
+
+    def fit_prior_from_assembly(
+        self, sources: Sequence[str]
+    ) -> "SequenceDisassembler":
+        """Estimate the transition prior from assembly text (linear flow)."""
+        sequences = [
+            [instruction.spec.key for instruction in assemble(source)]
+            for source in sources
+        ]
+        return self.fit_prior_from_sequences(sequences)
+
+    # -- posteriors ------------------------------------------------------------
+    def class_log_posteriors(
+        self, windows: np.ndarray, adapt: Optional[bool] = False
+    ) -> np.ndarray:
+        """(n, n_classes) per-window log posteriors through the hierarchy."""
+        windows = np.asarray(windows)
+        dis = self.disassembler
+        group_logp = _log_posteriors(dis.group_model, windows, adapt)
+        group_numbers = [
+            int(name[1:]) for name in dis.group_model.label_names
+        ]
+        column_of_group = {g: i for i, g in enumerate(group_numbers)}
+
+        out = np.full((len(windows), len(self.classes)), 2 * _LOG_FLOOR)
+        offset = 0
+        for group, model in sorted(dis.instruction_models.items()):
+            n_classes = len(model.label_names)
+            level2 = _log_posteriors(model, windows, adapt)
+            if group in column_of_group:
+                level1 = group_logp[:, column_of_group[group]][:, None]
+            else:  # group invisible to level 1: rely on level 2 alone
+                level1 = np.zeros((len(windows), 1))
+            out[:, offset:offset + n_classes] = level1 + level2
+            offset += n_classes
+        return np.maximum(out, 2 * _LOG_FLOOR)
+
+    # -- decoding ----------------------------------------------------------------
+    def decode(
+        self, windows: np.ndarray, adapt: Optional[bool] = False
+    ) -> List[str]:
+        """Most probable instruction-key sequence (Viterbi)."""
+        if self.hmm is None:
+            raise RuntimeError("prior is not fitted; call fit_prior_* first")
+        log_post = self.class_log_posteriors(windows, adapt)
+        states = self.hmm.decode_posteriors(log_post)
+        return [self.classes[s] for s in states]
+
+    def decode_independent(
+        self, windows: np.ndarray, adapt: Optional[bool] = False
+    ) -> List[str]:
+        """Per-window argmax (no sequence prior) — the comparison point."""
+        log_post = self.class_log_posteriors(windows, adapt)
+        return [self.classes[i] for i in np.argmax(log_post, axis=1)]

@@ -1,0 +1,71 @@
+"""Result types of the side-channel disassembler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..isa import REGISTRY, OperandKind
+from ..isa.specs import InstructionSpec
+
+__all__ = ["DisassembledInstruction", "render_partial"]
+
+
+@dataclass(frozen=True)
+class DisassembledInstruction:
+    """One recovered instruction: opcode class plus register operands.
+
+    The power side channel recovers the instruction class and the register
+    addresses (paper §5.2-5.3); immediate values and branch offsets are not
+    recoverable and render as placeholders.
+    """
+
+    key: str  #: predicted instruction class (e.g. ``"ADC"``)
+    group: Optional[int]  #: predicted Table 2 group (level-1 output)
+    rd: Optional[int] = None  #: predicted destination register address
+    rr: Optional[int] = None  #: predicted source register address
+
+    @property
+    def spec(self) -> InstructionSpec:
+        """Spec of the predicted class."""
+        return REGISTRY[self.key]
+
+    @property
+    def text(self) -> str:
+        """Best-effort assembly rendering."""
+        return render_partial(self.spec, self.rd, self.rr)
+
+
+_REG_KINDS = (
+    OperandKind.REG,
+    OperandKind.REG_HIGH,
+    OperandKind.REG_MUL,
+    OperandKind.REG_PAIR,
+    OperandKind.REG_PAIR_HIGH,
+)
+
+
+def render_partial(
+    spec: InstructionSpec, rd: Optional[int], rr: Optional[int]
+) -> str:
+    """Render a spec with recovered registers and ``<?>`` placeholders."""
+    rendered = []
+    register_values = iter(
+        [value for value in (rd, rr) if value is not None]
+    )
+    for slot in spec.syntax:
+        if slot.startswith("%"):
+            index = int(slot[1:])
+            kind = spec.operands[index].kind
+            if kind in _REG_KINDS:
+                value = next(register_values, None)
+                rendered.append(f"r{value}" if value is not None else "r?")
+            else:
+                rendered.append("<?>")
+        elif "%" in slot:
+            prefix, _, _ = slot.partition("%")
+            rendered.append(prefix + "<?>")
+        else:
+            rendered.append(slot)
+    body = ", ".join(rendered)
+    return spec.mnemonic if not body else f"{spec.mnemonic} {body}"

@@ -1,0 +1,19 @@
+"""Signal processing: continuous wavelet transform and preprocessing."""
+
+from .cwt import CWT, CwtConfig, cwt_magnitude
+from .preprocess import (
+    align_traces,
+    remove_dc,
+    standardize_features,
+    standardize_traces,
+)
+
+__all__ = [
+    "CWT",
+    "CwtConfig",
+    "align_traces",
+    "cwt_magnitude",
+    "remove_dc",
+    "standardize_features",
+    "standardize_traces",
+]

@@ -1,0 +1,66 @@
+"""Template-regression trace normalization.
+
+Fits, per trace, the least-squares affine map onto a fixed *template*
+(typically the mean training trace)::
+
+    trace ~= a * template + b        =>        normalized = (trace - b) / a
+
+``a`` absorbs a multiplicative gain, ``b`` a DC offset.  The estimate is
+driven by the deterministic structure shared with the template, so it is
+most useful on *raw* (pre-reference-subtraction) traces where the clock
+feedthrough dominates; after reference subtraction the shared structure
+is weak and the per-batch column standardization of
+:class:`repro.features.FeaturePipeline` (``normalize="batch"``) is the
+covariate-shift tool of choice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["TemplateNormalizer"]
+
+
+class TemplateNormalizer:
+    """Affine per-trace normalization against a template trace.
+
+    Args:
+        template: reference trace; typically the mean of the training
+            traces.  Fit one with :meth:`fit`.
+        min_gain: lower clamp for the estimated gain (robustness).
+    """
+
+    def __init__(
+        self, template: Optional[np.ndarray] = None, min_gain: float = 1e-3
+    ) -> None:
+        self.template = (
+            np.asarray(template, dtype=np.float64) if template is not None else None
+        )
+        self.min_gain = min_gain
+
+    def fit(self, traces: np.ndarray) -> "TemplateNormalizer":
+        """Set the template to the mean of ``traces``."""
+        self.template = np.asarray(traces, dtype=np.float64).mean(axis=0)
+        return self
+
+    def transform(self, traces: np.ndarray) -> np.ndarray:
+        """Normalize traces; returns float64 copies."""
+        if self.template is None:
+            raise RuntimeError("normalizer has no template; call fit() first")
+        traces = np.atleast_2d(np.asarray(traces, dtype=np.float64))
+        template = self.template
+        t_center = template - template.mean()
+        denom = float(np.dot(t_center, t_center))
+        if denom <= 0:
+            raise ValueError("degenerate template (constant trace)")
+        row_means = traces.mean(axis=1)
+        gains = (traces - row_means[:, None]) @ t_center / denom
+        gains = np.maximum(gains, self.min_gain)
+        offsets = row_means - gains * template.mean()
+        return (traces - offsets[:, None]) / gains[:, None]
+
+    def fit_transform(self, traces: np.ndarray) -> np.ndarray:
+        """Fit the template on ``traces`` and normalize them."""
+        return self.fit(traces).transform(traces)

@@ -1,0 +1,114 @@
+"""Trace preprocessing: alignment, detrending, standardization.
+
+These utilities mirror the paper's preprocessing chain: traces are
+trigger-aligned (the wavelet domain is additionally jitter-tolerant),
+reference-subtracted by the acquisition framework, and — for covariate
+shift adaptation — feature vectors are normalized per trace (§5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "align_traces",
+    "remove_dc",
+    "standardize_traces",
+    "standardize_features",
+]
+
+
+def align_traces(
+    traces: np.ndarray,
+    reference: Optional[np.ndarray] = None,
+    max_shift: int = 4,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Align traces to a reference by integer cross-correlation shift.
+
+    Args:
+        traces: ``(n, T)`` array.
+        reference: alignment target; defaults to the mean trace.
+        max_shift: maximum shift searched, in samples.
+
+    Returns:
+        ``(aligned, shifts)`` — aligned copies (edge samples replicated)
+        and the shift applied to each trace.
+    """
+    traces = np.asarray(traces)
+    if reference is None:
+        reference = traces.mean(axis=0)
+    reference = reference - reference.mean()
+    n, length = traces.shape
+    shifts = np.zeros(n, dtype=np.int64)
+    aligned = np.empty_like(traces)
+    candidates = range(-max_shift, max_shift + 1)
+    centered = traces - traces.mean(axis=1, keepdims=True)
+    for i in range(n):
+        best_score = -np.inf
+        best_shift = 0
+        for shift in candidates:
+            if shift >= 0:
+                score = float(
+                    np.dot(centered[i, shift:], reference[: length - shift])
+                )
+            else:
+                score = float(
+                    np.dot(centered[i, :shift], reference[-shift:])
+                )
+            if score > best_score:
+                best_score = score
+                best_shift = shift
+        shifts[i] = best_shift
+        aligned[i] = _shift_trace(traces[i], best_shift)
+    return aligned, shifts
+
+
+def _shift_trace(trace: np.ndarray, shift: int) -> np.ndarray:
+    """Shift left by ``shift`` samples, replicating edges."""
+    if shift == 0:
+        return trace.copy()
+    out = np.empty_like(trace)
+    if shift > 0:
+        out[:-shift] = trace[shift:]
+        out[-shift:] = trace[-1]
+    else:
+        out[-shift:] = trace[:shift]
+        out[:-shift] = trace[0]
+    return out
+
+
+def remove_dc(traces: np.ndarray) -> np.ndarray:
+    """Subtract each trace's mean (kills program-level DC offsets)."""
+    traces = np.asarray(traces)
+    return traces - traces.mean(axis=-1, keepdims=True)
+
+
+def standardize_traces(traces: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance per trace."""
+    traces = np.asarray(traces, dtype=np.float64)
+    centered = traces - traces.mean(axis=-1, keepdims=True)
+    scale = centered.std(axis=-1, keepdims=True)
+    scale[scale == 0] = 1.0
+    return centered / scale
+
+
+def standardize_features(
+    features: np.ndarray,
+    mean: Optional[np.ndarray] = None,
+    std: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Column-standardize a feature matrix using (or fitting) train stats.
+
+    Returns:
+        ``(standardized, mean, std)``; pass the returned stats to apply
+        the same transform to test data.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if mean is None:
+        mean = features.mean(axis=0)
+    if std is None:
+        std = features.std(axis=0)
+        std = np.where(std == 0, 1.0, std)
+    return (features - mean) / std, mean, std

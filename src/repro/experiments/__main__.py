@@ -1,0 +1,124 @@
+"""Command-line interface: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table3 --scale bench
+    python -m repro.experiments all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    ablations,
+    endtoend,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    malware,
+    multisession,
+    sampling_rate,
+    svm_grid,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from .results import ResultTable
+
+#: name -> (runner, description).  Runners return a ResultTable, a tuple
+#: whose first element is one, or a dict of them.
+RUNNERS = {
+    "table1": (table1.run, "comparison with prior disassemblers"),
+    "table2": (table2.run, "the 8-group instruction partition"),
+    "table3": (table3.run, "ADC vs AND with covariate shift adaptation"),
+    "table4": (table4.run, "five sibling devices after CSA"),
+    "fig1": (fig1.run, "the process flow, with measured dimensions"),
+    "fig2": (fig2.run, "DNVP feature-point extraction (ADC vs AND)"),
+    "fig3": (fig3.run, "best vs worst feature choice under shift"),
+    "fig4": (fig4.run, "pipeline view of the segment template"),
+    "fig5": (fig5.run, "SR vs #principal components, 4 classifiers"),
+    "fig6": (fig6.run, "majority voting vs the general method"),
+    "endtoend": (endtoend.run, "full hierarchy incl. registers (99.03 %)"),
+    "svm-grid": (svm_grid.run, "§5.2's SVM grid search with 3-fold CV"),
+    "sampling-rate": (
+        sampling_rate.run, "SR vs scope rate (the §5.4 argument)"
+    ),
+    "multisession": (
+        multisession.run, "multi-session profiling robustness (extension)"
+    ),
+    "malware": (malware.run, "the §5.7 masking-removal case study"),
+    "ablation-cwt": (ablations.run_cwt_ablation, "CWT vs time domain"),
+    "ablation-selection": (
+        ablations.run_selection_ablation, "KL DNVP vs variance ranking"
+    ),
+    "ablation-hierarchy": (
+        ablations.run_hierarchy_ablation, "hierarchical vs flat"
+    ),
+}
+
+
+def _print_result(result) -> None:
+    if isinstance(result, ResultTable):
+        print(result.render())
+        return
+    if isinstance(result, tuple):
+        _print_result(result[0])
+        return
+    if isinstance(result, dict):
+        for value in result.values():
+            _print_result(value)
+            print()
+        return
+    print(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the DAC'18 paper's tables and figures "
+        "on the simulated bench.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        help="workload preset: smoke | bench | paper (default: bench)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in RUNNERS)
+        for name, (_, description) in RUNNERS.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+
+    names = list(RUNNERS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    for name in names:
+        runner, _ = RUNNERS[name]
+        started = time.time()
+        if name == "table2":
+            result = runner()
+        else:
+            result = runner(args.scale)
+        _print_result(result)
+        print(f"[{name} completed in {time.time() - started:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Canonical feature/classifier configurations per experiment scenario.
+
+Calibrated against the paper's reported numbers (see EXPERIMENTS.md):
+
+* ``stationary_config`` — the §5.2/§5.3 scenario: train/test randomly
+  split within the same program files.  A permissive within-class filter
+  (``auto:0.9``) keeps the most discriminative points.
+* ``no_csa_config`` — §4's naive setup: selection by between-class KL
+  peaks only (the "highest peaks" of Fig. 3), no normalization.  Collapses
+  under deployment shift.
+* ``csa_config_nonorm`` / ``csa_config_full`` — §5.5's adaptation: more
+  training programs + a tight within-class filter, without/with the
+  feature normalization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..features.pipeline import FeatureConfig
+from ..ml.base import Classifier
+from ..ml.discriminant import LDA, QDA
+from ..ml.naive_bayes import GaussianNB
+from ..ml.svm import SVC
+
+__all__ = [
+    "CLASSIFIERS",
+    "stationary_config",
+    "register_config",
+    "no_csa_config",
+    "csa_config_nonorm",
+    "csa_config_full",
+]
+
+#: The four classifier families the paper compares (§5.2).
+CLASSIFIERS: Dict[str, Callable[[], Classifier]] = {
+    "LDA": LDA,
+    "QDA": QDA,
+    "SVM": lambda: SVC(C=10.0, kernel="rbf"),
+    "NaiveBayes": GaussianNB,
+}
+
+
+def stationary_config(n_components: int = 43) -> FeatureConfig:
+    """Random-split scenario configuration (Fig. 5, §5.2)."""
+    return FeatureConfig(
+        kl_threshold="auto:0.9",
+        top_k=8,
+        n_components=n_components,
+        normalize="batch",
+    )
+
+
+def register_config(n_components: int = 45) -> FeatureConfig:
+    """Register-level configuration (§5.3: 45 variables)."""
+    return stationary_config(n_components=n_components)
+
+
+def no_csa_config(n_components: int = 3) -> FeatureConfig:
+    """§4's naive configuration: highest KL peaks, no normalization."""
+    return FeatureConfig(
+        kl_threshold=float("inf"),
+        top_k=5,
+        n_components=n_components,
+        normalize="none",
+    )
+
+
+def csa_config_nonorm(n_components: int = 3) -> FeatureConfig:
+    """CSA without normalization (Table 3, middle column)."""
+    return FeatureConfig(
+        kl_threshold="auto:0.5",
+        top_k=5,
+        n_components=n_components,
+        normalize="none",
+    )
+
+
+def csa_config_full(n_components: int = 3) -> FeatureConfig:
+    """Full CSA: tight threshold + normalization (Table 3, last column)."""
+    return FeatureConfig(
+        kl_threshold="auto:0.5",
+        top_k=5,
+        n_components=n_components,
+        normalize="batch",
+    )

@@ -1,0 +1,145 @@
+"""§5.2-5.3 headline: full hierarchical recognition including registers.
+
+Trains all three levels (groups -> instructions-within-group -> Rd/Rr) and
+reports:
+
+* level-1 group SR (paper: 99.85 % SVM / 99.93 % QDA at 43 variables);
+* per-group instruction SR (paper: >= 99.5 %);
+* the end-to-end *measured* opcode SR through the hierarchy;
+* register SRs (paper: Rd 99.9 %, Rr 99.6 % with 45 variables);
+* the combined instruction+registers SR (paper: >= 99.03 % with QDA).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hierarchy import SideChannelDisassembler
+from ..isa import REGISTRY
+from ..power.acquisition import Acquisition
+from .configs import CLASSIFIERS, register_config, stationary_config
+from .results import ResultTable
+from .scales import get_scale
+from .workloads import capture_group_set, group_classes
+
+__all__ = ["run"]
+
+
+def run(scale="bench", classifier: str = "QDA") -> ResultTable:
+    """Regenerate the end-to-end recognition-rate summary."""
+    scale = get_scale(scale)
+    factory = CLASSIFIERS[classifier]
+    acq = Acquisition(seed=scale.seed)
+    rng = np.random.default_rng(scale.seed + 52)
+    fraction = scale.n_train_per_class / (
+        scale.n_train_per_class + scale.n_test_per_class
+    )
+    dis = SideChannelDisassembler(
+        stationary_config(scale.components(43)), classifier_factory=factory
+    )
+
+    table = ResultTable(
+        title=f"End-to-end hierarchical recognition ({classifier})",
+        columns=["level", "SR (%)", "detail"],
+        paper_reference={
+            "groups": "99.85-99.93 %",
+            "group instructions": ">= 99.5 %",
+            "Rd": "99.9 %", "Rr": "99.6 %",
+            "combined": ">= 99.03 %",
+        },
+        notes=f"scale={scale.name}",
+    )
+
+    # Level 1: groups.
+    group_full = capture_group_set(
+        acq, scale.n_train_per_class + scale.n_test_per_class,
+        scale.n_programs,
+    )
+    group_train, group_test = group_full.split_random(fraction, rng)
+    group_model = dis.fit_group_level(group_train)
+    group_sr = group_model.score(group_test)
+    table.add_row(level="groups (level 1)", **{"SR (%)": group_sr * 100.0},
+                  detail="8-way")
+
+    # Level 2: instructions within each group.
+    instruction_srs = []
+    pooled_true_keys = []
+    pooled_traces = []
+    for group in range(1, 9):
+        keys = group_classes(group, scale)
+        full = acq.capture_instruction_set(
+            keys, scale.n_train_per_class + scale.n_test_per_class,
+            scale.n_programs,
+        )
+        train, test = full.split_random(fraction, rng)
+        model = dis.fit_instruction_level(group, train)
+        sr = model.score(test)
+        instruction_srs.append(sr)
+        table.add_row(
+            level=f"G{group} instructions",
+            **{"SR (%)": sr * 100.0},
+            detail=f"{len(keys)}-way",
+        )
+        pooled_traces.append(test.traces)
+        pooled_true_keys.extend(test.label_names[c] for c in test.labels)
+
+    # Measured end-to-end opcode SR: level 1 then level 2 on pooled tests.
+    # Scoring is canonical: e.g. a BSET trace with s=2 carries exactly
+    # SEN's encoding, so the hierarchy may legitimately route it to group
+    # 6 and answer "SEN" — electrically indistinguishable classes count
+    # as correct (the malware detector applies the same equivalence).
+    def canonical(key: str) -> str:
+        spec = REGISTRY.get(key)
+        if spec is None:
+            return key
+        return spec.alias_of or spec.key
+
+    pooled = np.concatenate(pooled_traces)
+    predicted_keys = dis.predict_instructions(pooled)
+    strict_sr = float(
+        np.mean([p == t for p, t in zip(predicted_keys, pooled_true_keys)])
+    )
+    opcode_sr = float(
+        np.mean(
+            [
+                canonical(p) == canonical(t)
+                for p, t in zip(predicted_keys, pooled_true_keys)
+            ]
+        )
+    )
+    table.add_row(
+        level="opcode end-to-end",
+        **{"SR (%)": opcode_sr * 100.0},
+        detail=(
+            f"hierarchy over {len(set(pooled_true_keys))} classes "
+            f"(canonical; strict label match {strict_sr * 100:.2f} %)"
+        ),
+    )
+
+    # Level 3: registers.
+    register_dis = SideChannelDisassembler(
+        register_config(scale.components(45)), classifier_factory=factory
+    )
+    register_srs = {}
+    for role in ("Rd", "Rr"):
+        full = acq.capture_register_set(
+            role, scale.registers,
+            scale.n_train_per_class + scale.n_test_per_class,
+            scale.n_programs,
+        )
+        train, test = full.split_random(fraction, rng)
+        model = register_dis.fit_register_level(role, train)
+        register_srs[role] = model.score(test)
+        table.add_row(
+            level=f"{role} register",
+            **{"SR (%)": register_srs[role] * 100.0},
+            detail=f"{len(scale.registers)}-way",
+        )
+
+    combined = opcode_sr * register_srs["Rd"] * register_srs["Rr"]
+    table.add_row(
+        level="combined (opcode x Rd x Rr)",
+        **{"SR (%)": combined * 100.0},
+        detail="paper's product bound",
+    )
+    return table

@@ -1,0 +1,66 @@
+"""Fig. 4: the pipeline view of the program segment template.
+
+Reproduces the paper's schematic as data: the 2-stage pipeline occupancy
+of the ``SBI, NOP, rand, ADD, rand, NOP, CBI`` template and the location
+of the ADD profiling window inside the rendered power trace.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..power.acquisition import Acquisition, TARGET_SLOT, TEMPLATE_LENGTH
+from ..power.model import PowerModel
+from ..sim.cpu import AvrCpu
+from ..sim.pipeline import pipeline_slots
+from .results import ResultTable
+from .scales import get_scale
+
+__all__ = ["run"]
+
+_TEMPLATE = """
+    sbi 0x05, 5
+    nop
+    ldi r20, 0x3C   ; random neighbour
+    add r16, r17    ; target instruction
+    eor r21, r22    ; random neighbour
+    nop
+    cbi 0x05, 5
+"""
+
+
+def run(scale="bench") -> Tuple[ResultTable, np.ndarray]:
+    """Regenerate the Fig. 4 schedule and the target's power window."""
+    scale = get_scale(scale)
+    cpu = AvrCpu(_TEMPLATE)
+    events = cpu.run()
+    slots = pipeline_slots(events)
+    model = PowerModel()
+    trace = model.render_events(events)
+    window = model.window(trace, TARGET_SLOT)
+
+    table = ResultTable(
+        title="Fig. 4: pipeline schedule of the ADD segment template",
+        columns=["cycle", "execute stage", "fetch stage", "cycles"],
+        paper_reference={
+            "template": "SBI, NOP, rand, target, rand, NOP, CBI",
+            "window": "fetch/decode + execute = 315 samples",
+        },
+        notes=f"target slot index {TARGET_SLOT} of {TEMPLATE_LENGTH}",
+    )
+    for index, slot in enumerate(slots):
+        fetch = "-"
+        if index + 1 < len(slots):
+            fetch = slots[index + 1].execute.instruction.text()
+        table.add_row(
+            cycle=index,
+            **{
+                "execute stage": slot.execute.instruction.text(),
+                "fetch stage": fetch,
+                "cycles": slot.execute.cycles,
+            },
+        )
+    assert len(window) == model.geometry.window_samples
+    return table, window

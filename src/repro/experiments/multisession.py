@@ -1,0 +1,105 @@
+"""Multi-session profiling: §5.5's principle taken one axis further.
+
+The paper widens the *program* sample space (9 -> 19 files) so that
+"not-varying" is certified against more environments.  The same logic
+applies to measurement sessions: profiling across several sessions lets
+the within-class filter see session-style drift during training, and the
+pooled templates span it.
+
+This runner compares, on an unseen deployment session:
+
+* single-session profiling (the paper's setup) with and without CSA;
+* two-session profiling with CSA.
+
+Measured outcome (a negative result worth knowing): once the batch
+normalization is in place it already absorbs session-style drift, so the
+extra profiling session adds heterogeneity without adding robustness —
+single-session + CSA wins.  Widening the sample space pays off for the
+*selection* step (which cannot otherwise see drift), not for the
+templates themselves.
+"""
+
+from __future__ import annotations
+
+
+from ..core.hierarchy import SideChannelDisassembler
+from ..ml.discriminant import QDA
+from ..power.acquisition import Acquisition
+from ..power.dataset import TraceSet
+from ..power.device import SessionShift
+from .configs import csa_config_full, no_csa_config
+from .results import ResultTable
+from .scales import get_scale
+from .table3 import CLASS_PAIR, DEPLOYMENT_SESSION
+
+__all__ = ["run", "PROFILING_SESSIONS"]
+
+#: Two additional profiling sessions (mild drifts within the usual
+#: session distribution); the deployment session is Table 3's.
+PROFILING_SESSIONS = (
+    SessionShift(),  # the nominal campaign
+    SessionShift(gain=1.03, offset=0.15, tilt=0.45, tilt2=0.18),
+)
+
+
+def _relabel_programs(trace_set: TraceSet, offset: int) -> TraceSet:
+    return TraceSet(
+        traces=trace_set.traces,
+        labels=trace_set.labels,
+        label_names=trace_set.label_names,
+        program_ids=trace_set.program_ids + offset,
+        device=trace_set.device,
+        meta=dict(trace_set.meta),
+    )
+
+
+def run(scale="bench") -> ResultTable:
+    """Regenerate the multi-session robustness comparison (QDA)."""
+    scale = get_scale(scale)
+    n_programs = max(scale.csa_programs // 2, 2)
+    n_per_session = scale.csa_train_per_class // 2
+
+    sessions = []
+    for index, session in enumerate(PROFILING_SESSIONS):
+        acq = Acquisition(
+            seed=scale.seed + 10 * index, session=session
+        )
+        captured = acq.capture_instruction_set(
+            list(CLASS_PAIR), n_per_session, n_programs
+        )
+        sessions.append(_relabel_programs(captured, 100 * index))
+
+    single = sessions[0]
+    multi = TraceSet.concatenate(sessions)
+
+    deployed = Acquisition(seed=scale.seed, session=DEPLOYMENT_SESSION)
+    test = deployed.capture_mixed_program(
+        list(CLASS_PAIR), scale.n_test_per_class * 3, program_id=777
+    )
+
+    table = ResultTable(
+        title="Multi-session profiling: ADC vs AND on an unseen session (%)",
+        columns=["training", "config", "SR (%)"],
+        paper_reference={
+            "principle": "§5.5 widens the sample space over programs; "
+            "this extends it over sessions"
+        },
+        notes=(
+            f"scale={scale.name}; {len(PROFILING_SESSIONS)} profiling "
+            f"sessions x {n_programs} program files"
+        ),
+    )
+    configurations = (
+        ("1 session", "no CSA", no_csa_config(), single),
+        ("1 session", "CSA", csa_config_full(), single),
+        ("2 sessions", "CSA", csa_config_full(), multi),
+    )
+    for training, config_name, config, train in configurations:
+        dis = SideChannelDisassembler(config, classifier_factory=QDA)
+        model = dis.fit_instruction_level(1, train)
+        table.add_row(
+            training=training,
+            config=config_name,
+            **{"SR (%)": model.score(test) * 100.0},
+        )
+    return table

@@ -1,0 +1,113 @@
+"""Matplotlib-free rendering of time-frequency fields.
+
+The paper's Fig. 2/3 are 2-D plots; this module renders the underlying
+fields as ASCII heatmaps so the regenerated figures are inspectable in a
+terminal and in ``benchmarks/results/`` without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "ascii_scatter"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    field: np.ndarray,
+    width: int = 100,
+    height: int = 24,
+    title: str = "",
+    marks: Sequence[Tuple[int, int]] = (),
+    log: bool = True,
+) -> str:
+    """Render a (scales x time) field as an ASCII heatmap.
+
+    Args:
+        field: 2-D array; row 0 (smallest scale) is drawn at the bottom.
+        width/height: character-cell resolution.
+        title: heading line.
+        marks: ``(row, column)`` points drawn as ``X`` (e.g. selected
+            DNVP points).
+        log: log-compress the dynamic range before shading.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    rows, cols = field.shape
+    height = min(height, rows)
+    width = min(width, cols)
+    # Block-reduce by maximum so narrow peaks stay visible.
+    row_edges = np.linspace(0, rows, height + 1).astype(int)
+    col_edges = np.linspace(0, cols, width + 1).astype(int)
+    reduced = np.zeros((height, width))
+    for i in range(height):
+        for j in range(width):
+            block = field[row_edges[i]:row_edges[i + 1],
+                          col_edges[j]:col_edges[j + 1]]
+            reduced[i, j] = block.max() if block.size else 0.0
+    values = np.log1p(np.maximum(reduced, 0.0)) if log else reduced
+    low, high = values.min(), values.max()
+    span = (high - low) or 1.0
+    levels = ((values - low) / span * (len(_SHADES) - 1)).astype(int)
+
+    cells = [[_SHADES[level] for level in row] for row in levels]
+    for (r, c) in marks:
+        i = int(np.searchsorted(row_edges, r, side="right")) - 1
+        j = int(np.searchsorted(col_edges, c, side="right")) - 1
+        if 0 <= i < height and 0 <= j < width:
+            cells[i][j] = "X"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    for i in range(height - 1, -1, -1):  # scale axis grows upward
+        lines.append("|" + "".join(cells[i]) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f" time ->  (rows: scale index 0..{rows - 1}, bottom-up;"
+                 f" X = selected point)" if marks else
+                 f" time ->  (rows: scale index 0..{rows - 1}, bottom-up)")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points_by_group: dict,
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Render 2-D points as an ASCII scatter plot, one glyph per group.
+
+    Args:
+        points_by_group: label -> ``(n, >=2)`` array; the first two
+            columns are plotted.
+    """
+    glyphs = "ox+*sd"
+    all_points = np.concatenate(
+        [np.asarray(p)[:, :2] for p in points_by_group.values()]
+    )
+    lows = all_points.min(axis=0)
+    highs = all_points.max(axis=0)
+    spans = np.where(highs - lows == 0, 1.0, highs - lows)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(points_by_group.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in np.asarray(points)[:, :2]:
+            j = int((x - lows[0]) / spans[0] * (width - 1))
+            i = int((y - lows[1]) / spans[1] * (height - 1))
+            grid[i][j] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    for i in range(height - 1, -1, -1):
+        lines.append("|" + "".join(grid[i]) + "|")
+    lines.append("+" + "-" * width + "+")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]} = {label}"
+        for i, label in enumerate(points_by_group)
+    )
+    lines.append(f" {legend}")
+    return "\n".join(lines)

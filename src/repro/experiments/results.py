@@ -1,0 +1,76 @@
+"""Result containers that render the paper's tables and series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["ResultTable"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A reproduced table/figure: rows plus the paper's reference values.
+
+    Attributes:
+        title: e.g. ``"Table 3: SR of ADC vs AND with CSA"``.
+        columns: column names, first column is the row label.
+        rows: list of dicts keyed by column name.
+        paper_reference: the values the paper reports, for side-by-side
+            EXPERIMENTS.md entries.
+        notes: free-form caveats (scale used, substitutions).
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    paper_reference: Mapping[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_row(self, **cells) -> None:
+        """Append one row (keyword per column)."""
+        unknown = set(cells) - set(self.columns)
+        if unknown:
+            raise KeyError(f"row has unknown columns {sorted(unknown)}")
+        self.rows.append(cells)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        """Monospace table, paper reference and notes included."""
+        widths = {
+            c: max(len(c), *(len(_format_cell(r.get(c, ""))) for r in self.rows))
+            if self.rows
+            else len(c)
+            for c in self.columns
+        }
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    _format_cell(row.get(c, "")).ljust(widths[c])
+                    for c in self.columns
+                )
+            )
+        if self.paper_reference:
+            lines.append("")
+            lines.append("paper reports: " + ", ".join(
+                f"{k}={v}" for k, v in self.paper_reference.items()
+            ))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

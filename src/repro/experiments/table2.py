@@ -1,0 +1,29 @@
+"""Table 2: the 8-group partition of the 112 profiled AVR instructions."""
+
+from __future__ import annotations
+
+from ..isa.groups import table2_rows
+from .results import ResultTable
+
+__all__ = ["run"]
+
+_PAPER_SIZES = "12 / 10 / 13 / 20 / 24 / 15 / 12 / 6"
+
+
+def run(scale=None) -> ResultTable:
+    """Regenerate Table 2 from the instruction spec table."""
+    table = ResultTable(
+        title="Table 2: grouping AVR instructions",
+        columns=["group", "description", "# insts", "instructions"],
+        paper_reference={"sizes": _PAPER_SIZES, "total": 112},
+    )
+    for row in table2_rows():
+        table.add_row(
+            group=f"G{row['group']}",
+            description=row["description"],
+            **{
+                "# insts": row["n_instructions"],
+                "instructions": ", ".join(row["instructions"]),
+            },
+        )
+    return table

@@ -1,0 +1,79 @@
+"""Table 3: ADC vs AND SR with covariate shift adaptation.
+
+Scenario (§4/§5.5): templates are profiled in one measurement campaign;
+the device is later deployed running a *real* program (all classes in one
+file) in a *different* session.  Three configurations:
+
+* without CSA — trained on 9 program files, features picked by between-KL
+  peaks only, no normalization (paper: 18.5 % QDA / 19.2 % SVM);
+* CSA without normalization — 19 program files + tight ``KL_th``
+  (paper: 54.3 % / 57.8 %);
+* CSA with normalization (paper: 92 % / 93.2 %).
+"""
+
+from __future__ import annotations
+
+
+from ..core.hierarchy import SideChannelDisassembler
+from ..ml.discriminant import QDA
+from ..ml.svm import SVC
+from ..power.acquisition import Acquisition
+from ..power.device import SessionShift
+from .configs import csa_config_full, csa_config_nonorm, no_csa_config
+from .results import ResultTable
+from .scales import get_scale
+
+__all__ = ["run", "CLASS_PAIR"]
+
+CLASS_PAIR = ("ADC", "AND")
+
+
+#: The canonical deployment drift used for Table 3: a reproducible
+#: one-sigma-ish "different day" session (attenuated supply response in
+#: both tilt bands, slight gain/offset).  Table 4 samples fresh sessions
+#: per device instead; this one is pinned so the table is deterministic.
+DEPLOYMENT_SESSION = SessionShift(
+    gain=1.04, offset=-0.25, tilt=-0.9, tilt2=-0.4
+)
+
+
+def run(scale="bench", session: SessionShift = DEPLOYMENT_SESSION) -> ResultTable:
+    """Regenerate Table 3."""
+    scale = get_scale(scale)
+    acq = Acquisition(seed=scale.seed)
+    train_no_csa = acq.capture_instruction_set(
+        list(CLASS_PAIR), scale.n_train_per_class, max(scale.n_programs - 1, 2)
+    )
+    train_csa = acq.capture_instruction_set(
+        list(CLASS_PAIR), scale.csa_train_per_class, scale.csa_programs
+    )
+    deployed = Acquisition(seed=scale.seed, session=session)
+    test = deployed.capture_mixed_program(
+        list(CLASS_PAIR), scale.n_test_per_class * 3, program_id=777
+    )
+
+    table = ResultTable(
+        title="Table 3: SR of ADC vs AND with covariate shift adaptation (%)",
+        columns=["classifier", "without CSA", "CSA w/o norm", "CSA with norm"],
+        paper_reference={
+            "QDA": "18.5 / 54.3 / 92.0", "SVM": "19.2 / 57.8 / 93.2"
+        },
+        notes=(
+            f"scale={scale.name}; deployment = new session + single real "
+            f"program; training resubstitution stays high (paper: 94.3 %)"
+        ),
+    )
+    classifiers = {"QDA": QDA, "SVM": lambda: SVC(C=10)}
+    configurations = [
+        ("without CSA", no_csa_config(), train_no_csa),
+        ("CSA w/o norm", csa_config_nonorm(), train_csa),
+        ("CSA with norm", csa_config_full(), train_csa),
+    ]
+    for name, factory in classifiers.items():
+        row = {"classifier": name}
+        for column, config, train in configurations:
+            dis = SideChannelDisassembler(config, classifier_factory=factory)
+            model = dis.fit_instruction_level(1, train)
+            row[column] = model.score(test) * 100.0
+        table.add_row(**row)
+    return table

@@ -1,0 +1,69 @@
+"""Table 4: ADC vs AND SR on five sibling devices (after CSA).
+
+Templates come from a sixth (training) chip; each target chip is measured
+in its own session running a real program.  Paper: 88.9-95.6 % across the
+five devices for QDA/SVM after covariate shift adaptation.
+"""
+
+from __future__ import annotations
+
+
+from ..core.hierarchy import SideChannelDisassembler
+from ..ml.discriminant import QDA
+from ..ml.svm import SVC
+from ..power.acquisition import Acquisition, make_devices
+from ..power.device import SessionShift
+from .configs import csa_config_full
+from .results import ResultTable
+from .scales import get_scale
+from .table3 import CLASS_PAIR
+
+__all__ = ["run", "DEVICE_SESSIONS"]
+
+#: Pinned per-device re-measurement drifts (each target chip is measured
+#: in its own session, as in the paper).  Magnitudes span roughly
+#: +/- one sigma of :meth:`SessionShift.sample`'s distribution so the
+#: table is deterministic yet representative.
+DEVICE_SESSIONS = (
+    SessionShift(gain=0.97, offset=0.2, tilt=-0.7, tilt2=-0.30),
+    SessionShift(gain=1.05, offset=-0.1, tilt=-0.5, tilt2=-0.25),
+    SessionShift(gain=1.02, offset=0.3, tilt=0.6, tilt2=0.20),
+    SessionShift(gain=0.95, offset=-0.3, tilt=-0.9, tilt2=-0.35),
+    SessionShift(gain=1.03, offset=0.1, tilt=0.8, tilt2=0.30),
+)
+
+
+def run(scale="bench", device_seed: int = 7) -> ResultTable:
+    """Regenerate Table 4."""
+    scale = get_scale(scale)
+    train_device, targets = make_devices(scale.n_devices, seed=device_seed)
+    acq = Acquisition(device=train_device, seed=scale.seed)
+    train = acq.capture_instruction_set(
+        list(CLASS_PAIR), scale.csa_train_per_class, scale.csa_programs
+    )
+    table = ResultTable(
+        title="Table 4: SR of ADC vs AND on sibling devices, with CSA (%)",
+        columns=["classifier"] + [f"Dev. {i + 1}" for i in range(len(targets))],
+        paper_reference={
+            "QDA": "89.3 / 91.5 / 88.9 / 92.3 / 94.5",
+            "SVM": "90.4 / 92.8 / 90.8 / 93.4 / 95.6",
+        },
+        notes=f"scale={scale.name}; per-device deployment sessions",
+    )
+    for name, factory in (("QDA", QDA), ("SVM", lambda: SVC(C=10))):
+        dis = SideChannelDisassembler(
+            csa_config_full(), classifier_factory=factory
+        )
+        model = dis.fit_instruction_level(1, train)
+        row = {"classifier": name}
+        for index, device in enumerate(targets):
+            session = DEVICE_SESSIONS[index % len(DEVICE_SESSIONS)]
+            deployed = Acquisition(
+                device=device, seed=scale.seed + index + 1, session=session
+            )
+            test = deployed.capture_mixed_program(
+                list(CLASS_PAIR), scale.n_test_per_class * 3, program_id=index
+            )
+            row[f"Dev. {index + 1}"] = model.score(test) * 100.0
+        table.add_row(**row)
+    return table

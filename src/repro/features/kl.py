@@ -1,0 +1,144 @@
+"""Kullback-Leibler divergence fields over the time-frequency plane.
+
+The paper's feature selector (§3.1) treats each of the 50x315 CWT points
+as a Gaussian random variable per class and uses the closed-form KL
+divergence between normal distributions:
+
+    KL(N1 || N2) = log(s2/s1) + (s1^2 + (m1-m2)^2) / (2 s2^2) - 1/2
+
+Two fields matter:
+
+* the **between-class** field ``D_KL^B`` — high where two instruction
+  classes differ;
+* the **within-class** field ``D_KL^W`` — high where the same class drifts
+  across program files (covariate shift).  Feature points must be *low*
+  here to be "not-varying".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "gaussian_kl",
+    "symmetric_gaussian_kl",
+    "WaveletStats",
+    "between_class_kl",
+    "within_class_kl",
+]
+
+_VAR_FLOOR = 1e-12
+
+
+def gaussian_kl(
+    mean1: np.ndarray,
+    var1: np.ndarray,
+    mean2: np.ndarray,
+    var2: np.ndarray,
+) -> np.ndarray:
+    """Closed-form KL(N1 || N2), element-wise."""
+    var1 = np.maximum(np.asarray(var1, dtype=np.float64), _VAR_FLOOR)
+    var2 = np.maximum(np.asarray(var2, dtype=np.float64), _VAR_FLOOR)
+    mean1 = np.asarray(mean1, dtype=np.float64)
+    mean2 = np.asarray(mean2, dtype=np.float64)
+    return 0.5 * (
+        np.log(var2 / var1) + (var1 + (mean1 - mean2) ** 2) / var2 - 1.0
+    )
+
+
+def symmetric_gaussian_kl(
+    mean1: np.ndarray,
+    var1: np.ndarray,
+    mean2: np.ndarray,
+    var2: np.ndarray,
+) -> np.ndarray:
+    """Symmetrized KL (Jeffreys divergence), element-wise."""
+    return 0.5 * (
+        gaussian_kl(mean1, var1, mean2, var2)
+        + gaussian_kl(mean2, var2, mean1, var1)
+    )
+
+
+@dataclass
+class WaveletStats:
+    """Per-point Gaussian statistics of one class's CWT images.
+
+    Attributes:
+        mean / var: pooled ``(n_scales, n_samples)`` statistics.
+        program_means / program_vars: ``(n_programs, n_scales, n_samples)``
+            per-program-file statistics for the within-class field.
+        program_ids: the program file id of each stats row.
+        n: number of traces pooled.
+    """
+
+    mean: np.ndarray
+    var: np.ndarray
+    program_means: np.ndarray
+    program_vars: np.ndarray
+    program_ids: np.ndarray
+    n: int
+
+    @classmethod
+    def from_images(
+        cls, images: np.ndarray, program_ids: Optional[np.ndarray] = None
+    ) -> "WaveletStats":
+        """Compute statistics from ``(n, n_scales, n_samples)`` images."""
+        images = np.asarray(images, dtype=np.float64)
+        if program_ids is None:
+            program_ids = np.zeros(len(images), dtype=np.int64)
+        program_ids = np.asarray(program_ids)
+        unique = np.unique(program_ids)
+        p_means = np.empty((len(unique),) + images.shape[1:])
+        p_vars = np.empty_like(p_means)
+        for row, pid in enumerate(unique):
+            block = images[program_ids == pid]
+            p_means[row] = block.mean(axis=0)
+            p_vars[row] = block.var(axis=0)
+        return cls(
+            mean=images.mean(axis=0),
+            var=images.var(axis=0),
+            program_means=p_means,
+            program_vars=p_vars,
+            program_ids=unique,
+            n=len(images),
+        )
+
+    @property
+    def n_programs(self) -> int:
+        """Number of distinct program files pooled."""
+        return len(self.program_ids)
+
+
+def between_class_kl(
+    stats_a: WaveletStats, stats_b: WaveletStats, symmetric: bool = True
+) -> np.ndarray:
+    """The between-class field ``D_KL^B`` over the time-frequency plane."""
+    fn = symmetric_gaussian_kl if symmetric else gaussian_kl
+    return fn(stats_a.mean, stats_a.var, stats_b.mean, stats_b.var)
+
+
+def within_class_kl(stats: WaveletStats, symmetric: bool = True) -> np.ndarray:
+    """The within-class field ``D_KL^W``: worst drift across program pairs.
+
+    Returns the element-wise *maximum* over all program-file pairs — a
+    point is "not-varying" only if it is stable for **every** pair
+    (Definition 3.1 quantifies over all ``m != n``).
+    """
+    n_programs = stats.n_programs
+    if n_programs < 2:
+        return np.zeros_like(stats.mean)
+    fn = symmetric_gaussian_kl if symmetric else gaussian_kl
+    worst = np.zeros_like(stats.mean)
+    for i in range(n_programs):
+        for j in range(i + 1, n_programs):
+            field = fn(
+                stats.program_means[i],
+                stats.program_vars[i],
+                stats.program_means[j],
+                stats.program_vars[j],
+            )
+            np.maximum(worst, field, out=worst)
+    return worst

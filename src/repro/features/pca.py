@@ -1,0 +1,86 @@
+"""Principal component analysis (from scratch, SVD-based).
+
+Used as the paper's final dimensionality-reduction stage (§3.2): the
+unified DNVP values are projected onto the leading principal components
+before classification.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """SVD-based PCA with the scikit-learn fit/transform shape.
+
+    Args:
+        n_components: components kept; ``None`` keeps
+            ``min(n_samples, n_features)``.
+        whiten: scale projected components to unit variance.
+    """
+
+    def __init__(self, n_components: Optional[int] = None, whiten: bool = False):
+        self.n_components = n_components
+        self.whiten = whiten
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "PCA":
+        """Fit components on ``(n_samples, n_features)`` data."""
+        data = np.asarray(features, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("PCA expects a 2-D matrix")
+        self.mean_ = data.mean(axis=0)
+        centered = data - self.mean_
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        n_available = vt.shape[0]
+        k = n_available if self.n_components is None else min(
+            self.n_components, n_available
+        )
+        variance = (singular ** 2) / max(len(data) - 1, 1)
+        self.components_ = vt[:k]
+        self.explained_variance_ = variance[:k]
+        total = variance.sum()
+        self.explained_variance_ratio_ = (
+            variance[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Project data onto the fitted components."""
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted")
+        data = np.asarray(features, dtype=np.float64) - self.mean_
+        projected = data @ self.components_.T
+        if self.whiten:
+            scale = np.sqrt(np.maximum(self.explained_variance_, 1e-12))
+            projected = projected / scale
+        return projected
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit then project in one call."""
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Map projected data back to the original feature space."""
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted")
+        projected = np.asarray(projected, dtype=np.float64)
+        if self.whiten:
+            projected = projected * np.sqrt(
+                np.maximum(self.explained_variance_, 1e-12)
+            )
+        return projected @ self.components_ + self.mean_
+
+    @property
+    def n_components_(self) -> int:
+        """Number of fitted components."""
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted")
+        return self.components_.shape[0]

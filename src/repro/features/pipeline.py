@@ -1,0 +1,251 @@
+"""End-to-end feature pipeline: CWT -> KL/DNVP selection -> normalize -> PCA.
+
+This is the preprocessing object shared by every classifier in the
+disassembler.  It is fitted on labelled training traces (with their
+program-file provenance) and then applied identically to traces from the
+target device — exactly the flow of the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..dsp.cwt import CWT, CwtConfig
+from .kl import WaveletStats
+from .pca import PCA
+from .selection import DnvpSelector, Point
+
+__all__ = ["FeatureConfig", "FeaturePipeline", "compute_class_stats"]
+
+
+def compute_class_stats(
+    traces: np.ndarray,
+    labels: np.ndarray,
+    program_ids: np.ndarray,
+    label_names: Sequence[str],
+    cwt: Optional[CWT],
+    block_size: int = 512,
+) -> Dict[str, WaveletStats]:
+    """Per-class wavelet statistics (time-domain pseudo-images if no CWT)."""
+    labels = np.asarray(labels)
+    program_ids = np.asarray(program_ids)
+    stats: Dict[str, WaveletStats] = {}
+    for code, name in enumerate(label_names):
+        rows = np.flatnonzero(labels == code)
+        if len(rows) == 0:
+            raise ValueError(f"class {name!r} has no traces")
+        blocks = []
+        for start in range(0, len(rows), block_size):
+            chunk = np.asarray(traces)[rows[start:start + block_size]]
+            if cwt is not None:
+                blocks.append(cwt.transform(chunk))
+            else:
+                blocks.append(np.asarray(chunk, dtype=np.float32)[:, None, :])
+        images = np.concatenate(blocks)
+        stats[name] = WaveletStats.from_images(images, program_ids[rows])
+    return stats
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Feature pipeline hyper-parameters.
+
+    Attributes:
+        kl_threshold: within-class stability threshold ``KL_th``
+            (paper: 0.005 default, 0.0005 for covariate shift adaptation).
+        top_k: DNVP points kept per class pair (paper: 5).
+        n_components: principal components kept (``None`` = all).
+        normalize: feature-value normalization mode (§5.5):
+
+            * ``"batch"`` — the CSA normalization: each DNVP feature
+              column is standardized with the statistics of the batch it
+              belongs to (training batch at fit time, evaluation batch at
+              transform time).  A per-program/per-device gain scales every
+              CWT magnitude column multiplicatively and a DC offset moves
+              the low-frequency columns additively, so matching the first
+              two marginal moments of each column removes the shift —
+              textbook covariate shift adaptation.  ``"per_trace"`` is
+              accepted as an alias.  Evaluation batches should come from
+              one environment (one program/device), as in the paper; tiny
+              batches (< 8 traces) fall back to training statistics.
+            * ``"train_stats"`` — z-score with training statistics only
+              (no test-time adaptation — exposed to covariate shift).
+            * ``"none"`` — raw DNVP values (fully exposed; reproduces the
+              paper's 18.5 % no-CSA collapse in Table 3).
+        use_cwt: when False, skip the wavelet transform and select points
+            directly on time-domain samples (ablation baseline).
+        cwt: wavelet parameters.
+        block_size: CWT batch size during fitting (memory control).
+    """
+
+    kl_threshold: float = 0.005
+    top_k: int = 5
+    n_components: Optional[int] = 25
+    normalize: str = "train_stats"
+    use_cwt: bool = True
+    cwt: CwtConfig = field(default_factory=CwtConfig)
+    block_size: int = 512
+    min_batch_for_adaptation: int = 8
+
+    def with_overrides(self, **kwargs) -> "FeatureConfig":
+        """Copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+class FeaturePipeline:
+    """Fit on training traces, transform any traces into classifier inputs.
+
+    Args:
+        config: pipeline hyper-parameters.
+
+    Attributes (after :meth:`fit`):
+        selector: the fitted :class:`DnvpSelector` (per-pair diagnostics).
+        points: unified feature points.
+        pca: fitted :class:`PCA`.
+    """
+
+    def __init__(self, config: Optional[FeatureConfig] = None) -> None:
+        self.config = config if config is not None else FeatureConfig()
+        if self.config.normalize not in ("batch", "per_trace", "train_stats", "none"):
+            raise ValueError(f"unknown normalize mode {self.config.normalize!r}")
+        self.selector: Optional[DnvpSelector] = None
+        self.points: List[Point] = []
+        self.pca: Optional[PCA] = None
+        self._cwt: Optional[CWT] = None
+        self._n_samples: Optional[int] = None
+        self._feature_mean: Optional[np.ndarray] = None
+        self._feature_std: Optional[np.ndarray] = None
+
+    # -- internals -----------------------------------------------------------
+    def _images(self, traces: np.ndarray) -> np.ndarray:
+        """Full time-frequency images (or pseudo-images in time domain)."""
+        if self.config.use_cwt:
+            assert self._cwt is not None
+            return self._cwt.transform(traces)
+        return np.asarray(traces, dtype=np.float32)[:, None, :]
+
+    def _point_values(self, traces: np.ndarray) -> np.ndarray:
+        """Unified DNVP feature values for raw traces."""
+        if self.config.use_cwt:
+            assert self._cwt is not None
+            return self._cwt.transform_points(traces, self.points)
+        times = np.array([k for (_, k) in self.points])
+        return np.asarray(traces, dtype=np.float64)[:, times]
+
+    def _normalize(
+        self, values: np.ndarray, fit: bool, adapt: Optional[bool] = None
+    ) -> np.ndarray:
+        mode = self.config.normalize
+        if mode == "none":
+            return values
+        if fit:
+            self._feature_mean = values.mean(axis=0)
+            std = values.std(axis=0)
+            self._feature_std = np.where(std == 0, 1.0, std)
+        if self._feature_mean is None or self._feature_std is None:
+            raise RuntimeError("pipeline is not fitted")
+        if adapt is None:
+            adapt = mode in ("batch", "per_trace")
+        adapt = (
+            adapt
+            and not fit
+            and len(values) >= self.config.min_batch_for_adaptation
+        )
+        if adapt:
+            mean = values.mean(axis=0)
+            std = values.std(axis=0)
+            std = np.where(std == 0, 1.0, std)
+            return (values - mean) / std
+        return (values - self._feature_mean) / self._feature_std
+
+    # -- public API -----------------------------------------------------------
+    def class_statistics(
+        self,
+        traces: np.ndarray,
+        labels: np.ndarray,
+        program_ids: np.ndarray,
+        label_names: Sequence[str],
+    ) -> Dict[str, WaveletStats]:
+        """Per-class wavelet statistics (pass 1 of fitting)."""
+        return compute_class_stats(
+            traces,
+            labels,
+            program_ids,
+            label_names,
+            self._cwt if self.config.use_cwt else None,
+            self.config.block_size,
+        )
+
+    def fit(
+        self,
+        traces: np.ndarray,
+        labels: np.ndarray,
+        program_ids: np.ndarray,
+        label_names: Sequence[str],
+    ) -> "FeaturePipeline":
+        """Fit selection, normalization and PCA on training traces."""
+        if len(label_names) < 2:
+            raise ValueError(
+                "feature selection needs at least two classes "
+                f"(got {list(label_names)!r})"
+            )
+        traces = np.asarray(traces)
+        self._n_samples = traces.shape[1]
+        if self.config.use_cwt:
+            self._cwt = CWT(self._n_samples, self.config.cwt)
+        stats = self.class_statistics(traces, labels, program_ids, label_names)
+        self.selector = DnvpSelector(
+            kl_threshold=self.config.kl_threshold, top_k=self.config.top_k
+        ).fit(stats)
+        self.points = self.selector.points
+        values = self._point_values(traces)
+        values = self._normalize(values, fit=True)
+        self.pca = PCA(n_components=self.config.n_components).fit(values)
+        return self
+
+    def transform(
+        self,
+        traces: np.ndarray,
+        n_components: Optional[int] = None,
+        adapt: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Map traces to classifier feature vectors.
+
+        Args:
+            traces: ``(n, n_samples)`` raw (reference-subtracted) traces.
+            n_components: optionally truncate to fewer leading components
+                (used by the paper's Fig. 5 sweep) without refitting.
+            adapt: override batch adaptation for this call.  Batch
+                normalization assumes the batch's class mixture resembles
+                training; pass ``False`` for skewed batches (e.g. windows
+                of a single instruction) or same-session captures.
+        """
+        if self.pca is None or self._n_samples is None:
+            raise RuntimeError("pipeline is not fitted")
+        traces = np.asarray(traces)
+        if traces.shape[1] != self._n_samples:
+            raise ValueError(
+                f"expected {self._n_samples}-sample traces, "
+                f"got {traces.shape[1]}"
+            )
+        values = self._point_values(traces)
+        values = self._normalize(values, fit=False, adapt=adapt)
+        projected = self.pca.transform(values)
+        if n_components is not None:
+            projected = projected[:, :n_components]
+        return projected
+
+    @property
+    def n_points(self) -> int:
+        """Unified DNVP feature set size (paper: 205 for group 1)."""
+        return len(self.points)
+
+    @property
+    def n_features(self) -> int:
+        """Output dimensionality after PCA."""
+        if self.pca is None:
+            raise RuntimeError("pipeline is not fitted")
+        return self.pca.n_components_

@@ -1,0 +1,229 @@
+"""Distinct-and-not-varying feature point (DNVP) selection.
+
+Implements Definition 3.1 of the paper:
+
+1. ``NVP_c`` — points whose *within-class* KL divergence across program
+   files stays below ``KL_th`` for every program pair;
+2. ``DP`` — local maxima (peaks) of the *between-class* KL field;
+3. ``DNVP = NVP_c1 ∩ NVP_c2 ∩ DP`` — and the ``top_k`` (paper: 5) highest
+   peaks are kept per class pair;
+4. the per-pair point sets are unified over all class pairs into the
+   feature set handed to PCA (the paper reports 205 unified points for
+   group 1, a 98.7 % reduction from 15,750).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .kl import WaveletStats, between_class_kl, within_class_kl
+
+__all__ = [
+    "local_maxima_2d",
+    "PairSelection",
+    "select_pair_points",
+    "unify_points",
+    "DnvpSelector",
+]
+
+Point = Tuple[int, int]
+
+
+def local_maxima_2d(field: np.ndarray, include_plateau: bool = False) -> np.ndarray:
+    """Boolean mask of 8-neighbourhood local maxima of a 2-D field.
+
+    Args:
+        field: ``(n_scales, n_samples)`` array.
+        include_plateau: count ties with neighbours as maxima.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    padded = np.full(
+        (field.shape[0] + 2, field.shape[1] + 2), -np.inf, dtype=np.float64
+    )
+    padded[1:-1, 1:-1] = field
+    center = padded[1:-1, 1:-1]
+    mask = np.ones_like(field, dtype=bool)
+    compare = np.greater_equal if include_plateau else np.greater
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            if di == 0 and dj == 0:
+                continue
+            neighbor = padded[1 + di:padded.shape[0] - 1 + di,
+                              1 + dj:padded.shape[1] - 1 + dj]
+            mask &= compare(center, neighbor)
+    return mask
+
+
+@dataclass
+class PairSelection:
+    """Selection result for one class pair (diagnostics for Fig. 2)."""
+
+    class_a: str
+    class_b: str
+    points: List[Point]
+    between_field: np.ndarray
+    nvp_mask_a: np.ndarray
+    nvp_mask_b: np.ndarray
+    peaks_mask: np.ndarray
+    relaxed: bool  #: True when the strict DNVP intersection was empty
+
+
+def resolve_threshold(kl_threshold, within_field: np.ndarray) -> float:
+    """Resolve a threshold spec against one class's within-KL field.
+
+    ``kl_threshold`` may be a float (the paper's absolute ``KL_th``), the
+    string ``"auto"`` (25th percentile of the within-class field — adapts
+    to the KL estimation noise floor when per-program trace budgets are
+    far below the paper's 250), or ``"auto:<q>"`` for an explicit
+    quantile, e.g. ``"auto:0.5"``.
+    """
+    if isinstance(kl_threshold, str):
+        if kl_threshold == "auto":
+            quantile = 0.25
+        elif kl_threshold.startswith("auto:"):
+            quantile = float(kl_threshold.split(":", 1)[1])
+        else:
+            raise ValueError(f"unknown threshold spec {kl_threshold!r}")
+        return float(np.quantile(within_field, quantile))
+    return float(kl_threshold)
+
+
+def select_pair_points(
+    stats_a: WaveletStats,
+    stats_b: WaveletStats,
+    kl_threshold=0.005,
+    top_k: int = 5,
+    class_a: str = "a",
+    class_b: str = "b",
+    within_a: Optional[np.ndarray] = None,
+    within_b: Optional[np.ndarray] = None,
+) -> PairSelection:
+    """Select the ``top_k`` DNVP points discriminating one class pair.
+
+    When the strict intersection ``NVP_a ∩ NVP_b ∩ DP`` has fewer than
+    ``top_k`` points, the threshold is relaxed by ranking peak points by
+    between-KL *penalized* by within-KL (so the most stable peaks win) —
+    the selection never returns an empty feature set.
+    """
+    between = between_class_kl(stats_a, stats_b)
+    peaks = local_maxima_2d(between)
+    if within_a is None:
+        within_a = within_class_kl(stats_a)
+    if within_b is None:
+        within_b = within_class_kl(stats_b)
+    nvp_a = within_a < resolve_threshold(kl_threshold, within_a)
+    nvp_b = within_b < resolve_threshold(kl_threshold, within_b)
+    dnvp_mask = peaks & nvp_a & nvp_b
+
+    order_value = np.where(dnvp_mask, between, -np.inf)
+    flat = np.argsort(order_value, axis=None)[::-1]
+    points: List[Point] = []
+    for index in flat[: top_k]:
+        j, k = np.unravel_index(index, between.shape)
+        if not dnvp_mask[j, k]:
+            break
+        points.append((int(j), int(k)))
+
+    relaxed = False
+    if len(points) < top_k:
+        # Relaxation tier: every peak, ranked by stability-penalized KL.
+        relaxed = True
+        worst_within = np.maximum(within_a, within_b)
+        scale = max(resolve_threshold(kl_threshold, worst_within), 1e-12)
+        penalized = np.where(
+            peaks, between / (1.0 + worst_within / scale), -np.inf
+        )
+        flat = np.argsort(penalized, axis=None)[::-1]
+        chosen = set(points)
+        for index in flat:
+            j, k = np.unravel_index(index, between.shape)
+            if not np.isfinite(penalized[j, k]):
+                break
+            if (int(j), int(k)) in chosen:
+                continue
+            points.append((int(j), int(k)))
+            chosen.add((int(j), int(k)))
+            if len(points) == top_k:
+                break
+    return PairSelection(
+        class_a=class_a,
+        class_b=class_b,
+        points=points,
+        between_field=between,
+        nvp_mask_a=nvp_a,
+        nvp_mask_b=nvp_b,
+        peaks_mask=peaks,
+        relaxed=relaxed,
+    )
+
+
+def unify_points(selections: Sequence[PairSelection]) -> List[Point]:
+    """Union of per-pair point sets, in deterministic order."""
+    unified = sorted({point for sel in selections for point in sel.points})
+    return unified
+
+
+class DnvpSelector:
+    """Multi-class DNVP selection over per-class wavelet statistics.
+
+    Args:
+        kl_threshold: within-class stability threshold ``KL_th``
+            (paper: 0.005; 0.0005 with covariate shift adaptation).
+        top_k: peaks kept per class pair (paper: 5).
+    """
+
+    def __init__(self, kl_threshold=0.005, top_k: int = 5) -> None:
+        self.kl_threshold = kl_threshold
+        self.top_k = top_k
+        self.pair_selections: List[PairSelection] = []
+        self.points: List[Point] = []
+        self.pair_points: Dict[Tuple[str, str], List[Point]] = {}
+
+    def fit(self, stats_by_class: Mapping[str, WaveletStats]) -> "DnvpSelector":
+        """Select unified feature points from all class pairs."""
+        names = list(stats_by_class)
+        within = {
+            name: within_class_kl(stats_by_class[name]) for name in names
+        }
+        self.pair_selections = []
+        self.pair_points = {}
+        for name_a, name_b in itertools.combinations(names, 2):
+            selection = select_pair_points(
+                stats_by_class[name_a],
+                stats_by_class[name_b],
+                kl_threshold=self.kl_threshold,
+                top_k=self.top_k,
+                class_a=name_a,
+                class_b=name_b,
+                within_a=within[name_a],
+                within_b=within[name_b],
+            )
+            self.pair_selections.append(selection)
+            self.pair_points[(name_a, name_b)] = selection.points
+        self.points = unify_points(self.pair_selections)
+        return self
+
+    @property
+    def n_points(self) -> int:
+        """Size of the unified feature set."""
+        return len(self.points)
+
+    def extract(self, images: np.ndarray) -> np.ndarray:
+        """Extract unified feature values from CWT images."""
+        return extract_points(images, self.points)
+
+
+def extract_points(images: np.ndarray, points: Sequence[Point]) -> np.ndarray:
+    """Gather ``(n_traces, n_points)`` values at time-frequency points."""
+    images = np.asarray(images)
+    if not points:
+        raise ValueError("no feature points selected")
+    scales = np.array([p[0] for p in points])
+    times = np.array([p[1] for p in points])
+    if images.ndim == 2:
+        return images[scales, times]
+    return images[:, scales, times]

@@ -1,0 +1,69 @@
+"""AVR (ATmega328P-class) instruction set model.
+
+Public surface:
+
+* :data:`REGISTRY` / :func:`spec_for` — the instruction class table.
+* :func:`assemble` / :func:`assemble_line` / :class:`Instruction` — assembly.
+* :func:`disassemble` / :func:`decode_one` — static binary disassembly.
+* :data:`GROUPS` / :func:`classification_classes` — the paper's Table 2.
+"""
+
+from .assembler import (
+    AssemblyError,
+    Instruction,
+    assemble,
+    assemble_line,
+    assemble_words,
+    encode,
+)
+from .disasm import DisassemblyError, decode_one, disassemble, disassemble_text
+from .encoding import EncodingError
+from .hexfile import (
+    HexFormatError,
+    bytes_from_words,
+    parse_ihex,
+    to_ihex,
+    words_from_bytes,
+)
+from .groups import (
+    GROUP_DESCRIPTIONS,
+    GROUPS,
+    classification_classes,
+    group_of,
+    grouped_keys,
+    table2_rows,
+)
+from .operands import OperandError, OperandKind, OperandSpec
+from .specs import MNEMONIC_INDEX, REGISTRY, InstructionSpec, spec_for
+
+__all__ = [
+    "AssemblyError",
+    "DisassemblyError",
+    "EncodingError",
+    "GROUPS",
+    "GROUP_DESCRIPTIONS",
+    "HexFormatError",
+    "Instruction",
+    "InstructionSpec",
+    "MNEMONIC_INDEX",
+    "OperandError",
+    "OperandKind",
+    "OperandSpec",
+    "REGISTRY",
+    "assemble",
+    "assemble_line",
+    "assemble_words",
+    "bytes_from_words",
+    "classification_classes",
+    "decode_one",
+    "disassemble",
+    "disassemble_text",
+    "encode",
+    "group_of",
+    "grouped_keys",
+    "parse_ihex",
+    "spec_for",
+    "to_ihex",
+    "words_from_bytes",
+    "table2_rows",
+]

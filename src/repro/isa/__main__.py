@@ -1,0 +1,74 @@
+"""Command-line AVR assembler / disassembler.
+
+Usage::
+
+    python -m repro.isa asm program.asm -o program.hex
+    python -m repro.isa disasm program.hex
+    python -m repro.isa disasm program.hex --words   # raw opcode dump
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .assembler import assemble
+from .disasm import disassemble
+from .hexfile import bytes_from_words, parse_ihex, to_ihex, words_from_bytes
+
+
+def _cmd_asm(args) -> int:
+    source = Path(args.source).read_text()
+    instructions = assemble(source)
+    words = [w for i in instructions for w in i.encode()]
+    hex_text = to_ihex(bytes_from_words(words))
+    if args.output:
+        Path(args.output).write_text(hex_text)
+        print(
+            f"assembled {len(instructions)} instructions "
+            f"({len(words)} words) -> {args.output}"
+        )
+    else:
+        sys.stdout.write(hex_text)
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    text = Path(args.image).read_text()
+    words = words_from_bytes(parse_ihex(text))
+    if args.words:
+        for address, word in enumerate(words):
+            print(f"{address * 2:04X}: {word:04X}")
+        return 0
+    address = 0
+    for instruction in disassemble(words):
+        encoded = instruction.encode()
+        dump = " ".join(f"{w:04X}" for w in encoded)
+        print(f"{address * 2:04X}:  {dump:<10}  {instruction.text()}")
+        address += len(encoded)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.isa",
+        description="AVR assembler / static disassembler (Intel HEX).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    asm = sub.add_parser("asm", help="assemble a .asm file to Intel HEX")
+    asm.add_argument("source")
+    asm.add_argument("-o", "--output", help="output .hex (default: stdout)")
+    asm.set_defaults(func=_cmd_asm)
+    dis = sub.add_parser("disasm", help="disassemble an Intel HEX image")
+    dis.add_argument("image")
+    dis.add_argument(
+        "--words", action="store_true", help="dump raw opcode words instead"
+    )
+    dis.set_defaults(func=_cmd_disasm)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

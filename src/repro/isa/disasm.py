@@ -1,0 +1,116 @@
+"""Static (binary -> text) disassembler for AVR opcode words.
+
+This is the *conventional* disassembler operating on machine code.  It is
+used to verify the side-channel disassembler's output, to build the golden
+instruction flow for malware detection, and to round-trip test the encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from . import operands as op
+from .assembler import Instruction
+from .specs import DECODE_ORDER, REGISTRY, InstructionSpec
+
+__all__ = ["DisassemblyError", "decode_one", "disassemble", "disassemble_text"]
+
+
+class DisassemblyError(ValueError):
+    """Raised when opcode words match no known instruction."""
+
+
+# Alias preferences: when a canonical decode has a degenerate operand shape
+# the conventional mnemonic is nicer to read (avr-objdump does the same).
+_ALIAS_PREFERENCE = {
+    # canonical key -> (alias key, predicate on canonical operand values)
+    "AND": ("TST", lambda v: v[0] == v[1]),
+    "EOR": ("CLR", lambda v: v[0] == v[1]),
+    "ADD": ("LSL", lambda v: v[0] == v[1]),
+    "ADC": ("ROL", lambda v: v[0] == v[1]),
+}
+
+# Fixed-field aliases (``BREQ`` = ``BRBS 1, k``; ``SEC`` = ``BSET 0``; ...):
+# canonical key -> aliases in spec-table order (first match wins).
+_FIXED_ALIASES: dict = {}
+for _alias in REGISTRY.values():
+    if _alias.alias_of and _alias.fixed_fields and not _alias.derived_fields:
+        if _alias.complement_field is None:
+            _FIXED_ALIASES.setdefault(_alias.alias_of, []).append(_alias)
+
+
+def _operand_values(
+    spec: InstructionSpec, fields: dict
+) -> Optional[Tuple[int, ...]]:
+    values = []
+    for spec_op in spec.operands:
+        raw = fields.get(spec_op.field)
+        if raw is None:
+            return None
+        if spec.complement_field == spec_op.field:
+            raw ^= (1 << spec.compiled.field_width(spec_op.field)) - 1
+        values.append(op.from_field(spec_op.kind, raw))
+    return tuple(values)
+
+
+def decode_one(
+    words: Sequence[int], prefer_aliases: bool = True
+) -> Tuple[Instruction, int]:
+    """Decode the instruction starting at ``words[0]``.
+
+    Args:
+        words: opcode words; two entries must be present for 32-bit
+            instructions.
+        prefer_aliases: render ``AND r5,r5`` as ``TST r5`` etc.
+
+    Returns:
+        ``(instruction, n_words_consumed)``.
+
+    Raises:
+        DisassemblyError: when no pattern matches.
+    """
+    for spec in DECODE_ORDER:
+        fields = spec.compiled.match(words)
+        if fields is None:
+            continue
+        values = _operand_values(spec, fields)
+        if values is None:
+            continue
+        if prefer_aliases and spec.key in _ALIAS_PREFERENCE:
+            alias_key, predicate = _ALIAS_PREFERENCE[spec.key]
+            if predicate(values):
+                alias = REGISTRY[alias_key]
+                return Instruction(alias, values[:1]), spec.n_words
+        if prefer_aliases:
+            for alias in _FIXED_ALIASES.get(spec.key, ()):
+                if all(fields.get(f) == v for f, v in alias.fixed_fields.items()):
+                    alias_values = _operand_values(alias, fields)
+                    if alias_values is not None:
+                        return Instruction(alias, alias_values), spec.n_words
+        return Instruction(spec, values), spec.n_words
+    raise DisassemblyError(f"cannot decode opcode word 0x{words[0]:04X}")
+
+
+def disassemble(words: Sequence[int], prefer_aliases: bool = True) -> List[Instruction]:
+    """Disassemble a flat sequence of opcode words."""
+    out: List[Instruction] = []
+    index = 0
+    while index < len(words):
+        instruction, used = decode_one(words[index:], prefer_aliases=prefer_aliases)
+        out.append(instruction)
+        index += used
+    return out
+
+
+def disassemble_text(words: Sequence[int], prefer_aliases: bool = True) -> str:
+    """Disassemble to newline-joined assembly text."""
+    return "\n".join(i.text() for i in disassemble(words, prefer_aliases))
+
+
+def iter_decode(words: Sequence[int]) -> Iterator[Tuple[int, Instruction]]:
+    """Yield ``(word_address, instruction)`` pairs."""
+    index = 0
+    while index < len(words):
+        instruction, used = decode_one(words[index:])
+        yield index, instruction
+        index += used

@@ -1,0 +1,135 @@
+"""Bit-level encoding patterns for AVR opcodes.
+
+AVR opcodes are one or two 16-bit words.  We describe each encoding with a
+pattern string per word, written MSB first, where ``0``/``1`` are fixed bits
+and any other letter names a field, e.g. ``ADC``::
+
+    "0001 11rd dddd rrrr"
+
+Field bits are collected MSB-first in pattern order (left to right, first
+word then second word), which matches the AVR instruction set manual's
+convention — e.g. ``JMP``'s 22-bit ``k`` spreads over both words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["CompiledPattern", "compile_pattern", "EncodingError"]
+
+
+class EncodingError(ValueError):
+    """Raised for malformed patterns or out-of-range field values."""
+
+
+@dataclass(frozen=True)
+class CompiledPattern:
+    """A ready-to-use opcode pattern.
+
+    Attributes:
+        n_words: 1 or 2 sixteen-bit opcode words.
+        fixed_value: per word, the value of the fixed bits.
+        fixed_mask: per word, which bits are fixed.
+        fields: field letter -> tuple of (word index, bit index) positions,
+            MSB of the field first; bit index 15 is the leftmost bit.
+    """
+
+    n_words: int
+    fixed_value: Tuple[int, ...]
+    fixed_mask: Tuple[int, ...]
+    fields: Mapping[str, Tuple[Tuple[int, int], ...]]
+
+    @property
+    def fixed_bit_count(self) -> int:
+        """Total number of fixed bits — used to order decode attempts."""
+        return sum(bin(mask).count("1") for mask in self.fixed_mask)
+
+    def field_width(self, name: str) -> int:
+        """Number of bits of field ``name``."""
+        return len(self.fields[name])
+
+    def encode(self, field_values: Mapping[str, int]) -> Tuple[int, ...]:
+        """Assemble opcode words from raw field values.
+
+        Args:
+            field_values: field letter -> raw (non-negative) field value.
+
+        Returns:
+            Tuple of opcode words.
+
+        Raises:
+            EncodingError: on missing fields or values too wide for the field.
+        """
+        words = list(self.fixed_value)
+        for name, positions in self.fields.items():
+            if name not in field_values:
+                raise EncodingError(f"missing field {name!r}")
+            value = field_values[name]
+            width = len(positions)
+            if not 0 <= value < (1 << width):
+                raise EncodingError(
+                    f"field {name!r} value {value} does not fit in {width} bits"
+                )
+            for i, (word, bit) in enumerate(positions):
+                if (value >> (width - 1 - i)) & 1:
+                    words[word] |= 1 << bit
+        return tuple(words)
+
+    def match(self, words: Sequence[int]) -> Optional[Dict[str, int]]:
+        """Try to decode ``words`` against this pattern.
+
+        Args:
+            words: at least ``n_words`` opcode words starting at the
+                candidate instruction.
+
+        Returns:
+            Field letter -> raw field value on a match, else ``None``.
+        """
+        if len(words) < self.n_words:
+            return None
+        for i in range(self.n_words):
+            if words[i] & self.fixed_mask[i] != self.fixed_value[i]:
+                return None
+        out: Dict[str, int] = {}
+        for name, positions in self.fields.items():
+            value = 0
+            for word, bit in positions:
+                value = (value << 1) | ((words[word] >> bit) & 1)
+            out[name] = value
+        return out
+
+
+def compile_pattern(pattern_words: Iterable[str]) -> CompiledPattern:
+    """Compile pattern strings into a :class:`CompiledPattern`.
+
+    Whitespace in patterns is ignored; each word must contain exactly 16
+    significant characters.
+    """
+    fixed_value = []
+    fixed_mask = []
+    fields: Dict[str, list] = {}
+    pattern_list = list(pattern_words)
+    for word_idx, text in enumerate(pattern_list):
+        bits = text.replace(" ", "").replace("_", "")
+        if len(bits) != 16:
+            raise EncodingError(f"pattern word {text!r} is not 16 bits")
+        value = 0
+        mask = 0
+        for pos, ch in enumerate(bits):
+            bit = 15 - pos
+            if ch == "0":
+                mask |= 1 << bit
+            elif ch == "1":
+                mask |= 1 << bit
+                value |= 1 << bit
+            else:
+                fields.setdefault(ch, []).append((word_idx, bit))
+        fixed_value.append(value)
+        fixed_mask.append(mask)
+    return CompiledPattern(
+        n_words=len(pattern_list),
+        fixed_value=tuple(fixed_value),
+        fixed_mask=tuple(fixed_mask),
+        fields={k: tuple(v) for k, v in fields.items()},
+    )

@@ -1,0 +1,115 @@
+"""Table 2 of the paper: the 8-group partition of 112 AVR instructions.
+
+The hierarchical classifier's first level discriminates these groups; the
+second level discriminates instruction classes within a group.  Groups are
+derived directly from :mod:`repro.isa.specs` (each grouped spec carries its
+group number), so this module only adds convenient views and the metadata
+the experiment harness prints when regenerating Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from .specs import REGISTRY
+
+__all__ = [
+    "GROUPS",
+    "GROUP_DESCRIPTIONS",
+    "grouped_keys",
+    "group_of",
+    "classification_classes",
+    "table2_rows",
+]
+
+#: Human description of each group, matching the paper's footnotes.
+GROUP_DESCRIPTIONS: Mapping[int, str] = {
+    1: "Arithmetic and logic (Rd, Rr)",
+    2: "Arithmetic/data with immediate (Rd, K)",
+    3: "Bit and arithmetic, single register (Rd)",
+    4: "Branch (k)",
+    5: "Data transfer (loads/stores)",
+    6: "Bit-test, SREG set/clear",
+    7: "Branch/bit, skips and I/O bits",
+    8: "Data transfer, program memory",
+}
+
+#: group number -> tuple of instruction class keys, in spec-table order.
+GROUPS: Mapping[int, Tuple[str, ...]] = {
+    g: tuple(s.key for s in REGISTRY.values() if s.group == g)
+    for g in range(1, 9)
+}
+
+# The paper's Table 2 counts; verified by tests.
+EXPECTED_SIZES = {1: 12, 2: 10, 3: 13, 4: 20, 5: 24, 6: 15, 7: 12, 8: 6}
+
+#: Encoding synonyms that are indistinguishable from their canonical class
+#: even in operand *distribution* (identical encoding, identical operand
+#: space).  They are excluded from default classification class sets since
+#: no physical measurement could separate them.
+PURE_SYNONYMS = frozenset({"SBR", "CBR", "BRLO", "BRSH"})
+
+#: Classes whose operand distribution coincides with a *different group's*
+#: classes: ``BSET``/``BCLR`` (G7) cover exactly the union of the G6
+#: set/clear aliases, and ``BRBS``/``BRBC`` (G7) cover the G4 named
+#: branches.  At the group level these modes are inherently ambiguous, so
+#: the group-level profiling pool drops them (a deployment trace of
+#: ``BSET 0`` classified into G6 still disassembles to the equivalent
+#: ``SEC``); they remain available for within-group classification.
+CROSS_GROUP_DUPLICATES = frozenset({"BSET", "BCLR", "BRBS", "BRBC"})
+
+
+def grouped_keys() -> List[str]:
+    """All 112 grouped instruction class keys."""
+    return [key for g in range(1, 9) for key in GROUPS[g]]
+
+
+def group_of(key: str) -> int:
+    """Group number of an instruction class; raises for residual classes."""
+    group = REGISTRY[key].group
+    if group is None:
+        raise KeyError(f"{key} is a residual instruction outside the 8 groups")
+    return group
+
+
+def classification_classes(
+    group: int,
+    include_synonyms: bool = False,
+    exclude_cross_group: bool = False,
+) -> List[str]:
+    """Class keys the classifier is trained on for one group.
+
+    Args:
+        group: group number 1..8.
+        include_synonyms: keep pure encoding synonyms (``SBR`` vs ``ORI``
+            etc.).  Default off — they are physically indistinguishable.
+        exclude_cross_group: additionally drop
+            :data:`CROSS_GROUP_DUPLICATES` — use for *group-level*
+            profiling pools.
+    """
+    keys = list(GROUPS[group])
+    if not include_synonyms:
+        keys = [k for k in keys if k not in PURE_SYNONYMS]
+    if exclude_cross_group:
+        keys = [k for k in keys if k not in CROSS_GROUP_DUPLICATES]
+    return keys
+
+
+def table2_rows() -> List[Dict[str, object]]:
+    """Rows for regenerating Table 2: group, instructions, operands, size."""
+    rows = []
+    for g in range(1, 9):
+        specs = [REGISTRY[k] for k in GROUPS[g]]
+        operand_shapes = sorted(
+            {", ".join(o.kind.value for o in s.operands) or "(none)" for s in specs}
+        )
+        rows.append(
+            {
+                "group": g,
+                "description": GROUP_DESCRIPTIONS[g],
+                "instructions": [s.key for s in specs],
+                "operand_shapes": operand_shapes,
+                "n_instructions": len(specs),
+            }
+        )
+    return rows

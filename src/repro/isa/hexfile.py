@@ -1,0 +1,127 @@
+"""Intel HEX encoding/decoding for AVR flash images.
+
+Real AVR firmware ships as Intel HEX (the Arduino IDE's upload format,
+§5.1's ``.ino``-derived images).  This module reads and writes the subset
+of record types AVR images use — data (00), end-of-file (01) and extended
+linear address (04) — and converts between the byte stream and the
+little-endian 16-bit opcode words the rest of :mod:`repro.isa` works with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["HexFormatError", "parse_ihex", "to_ihex", "words_from_bytes",
+           "bytes_from_words"]
+
+
+class HexFormatError(ValueError):
+    """Raised on malformed Intel HEX input."""
+
+
+def _checksum(record_bytes: bytes) -> int:
+    return (-sum(record_bytes)) & 0xFF
+
+
+def parse_ihex(text: str) -> Dict[int, int]:
+    """Parse Intel HEX text into a sparse byte image.
+
+    Returns:
+        byte address -> byte value.
+
+    Raises:
+        HexFormatError: bad start code, hex digits, checksum, or a
+            missing end-of-file record.
+    """
+    image: Dict[int, int] = {}
+    base = 0
+    saw_eof = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise HexFormatError(f"line {line_number}: data after EOF record")
+        if not line.startswith(":"):
+            raise HexFormatError(f"line {line_number}: missing ':' start code")
+        try:
+            payload = bytes.fromhex(line[1:])
+        except ValueError as exc:
+            raise HexFormatError(
+                f"line {line_number}: invalid hex digits"
+            ) from exc
+        if len(payload) < 5:
+            raise HexFormatError(f"line {line_number}: record too short")
+        count, addr_hi, addr_lo, rtype = payload[:4]
+        data = payload[4:-1]
+        if len(data) != count:
+            raise HexFormatError(
+                f"line {line_number}: length field {count} != {len(data)}"
+            )
+        if _checksum(payload[:-1]) != payload[-1]:
+            raise HexFormatError(f"line {line_number}: bad checksum")
+        address = (addr_hi << 8) | addr_lo
+        if rtype == 0x00:
+            for offset, value in enumerate(data):
+                image[base + address + offset] = value
+        elif rtype == 0x01:
+            saw_eof = True
+        elif rtype == 0x04:
+            if count != 2:
+                raise HexFormatError(
+                    f"line {line_number}: bad extended-address record"
+                )
+            base = ((data[0] << 8) | data[1]) << 16
+        else:
+            raise HexFormatError(
+                f"line {line_number}: unsupported record type {rtype:02X}"
+            )
+    if not saw_eof:
+        raise HexFormatError("missing end-of-file record")
+    return image
+
+
+def to_ihex(data: bytes, start_address: int = 0, record_size: int = 16) -> str:
+    """Encode a contiguous byte image as Intel HEX text."""
+    lines: List[str] = []
+    for offset in range(0, len(data), record_size):
+        chunk = data[offset:offset + record_size]
+        address = start_address + offset
+        record = bytes(
+            [len(chunk), (address >> 8) & 0xFF, address & 0xFF, 0x00]
+        ) + bytes(chunk)
+        lines.append(f":{record.hex().upper()}{_checksum(record):02X}")
+    lines.append(":00000001FF")
+    return "\n".join(lines) + "\n"
+
+
+def words_from_bytes(image: Dict[int, int]) -> List[int]:
+    """Convert a sparse byte image to contiguous little-endian words.
+
+    The image must start at byte address 0 and have no gaps (the layout
+    of a linear AVR flash image).
+    """
+    if not image:
+        return []
+    size = max(image) + 1
+    if size % 2:
+        size += 1
+    words: List[int] = []
+    for address in range(0, size, 2):
+        low = image.get(address)
+        high = image.get(address + 1, 0)
+        if low is None:
+            raise HexFormatError(
+                f"gap in flash image at byte address 0x{address:04X}"
+            )
+        words.append(low | (high << 8))
+    return words
+
+
+def bytes_from_words(words: Iterable[int]) -> bytes:
+    """Little-endian byte stream of 16-bit opcode words."""
+    out = bytearray()
+    for word in words:
+        out.append(word & 0xFF)
+        out.append((word >> 8) & 0xFF)
+    return bytes(out)

@@ -1,0 +1,60 @@
+"""Minimal estimator API shared by all classifiers.
+
+The interface intentionally mirrors scikit-learn (``fit`` / ``predict`` /
+``score``), but everything here is implemented from scratch on numpy —
+the paper used MATLAB's ``fitcdiscr``/``fitcnb`` and LIBSVM, and this
+package provides the equivalent estimator families.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["Classifier", "check_Xy"]
+
+
+def check_Xy(X: np.ndarray, y: Optional[np.ndarray] = None):
+    """Validate and coerce a feature matrix (and labels) to float64/int64."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"expected 2-D feature matrix, got shape {X.shape}")
+    if y is None:
+        return X
+    y = np.asarray(y)
+    if y.ndim != 1 or len(y) != len(X):
+        raise ValueError("labels must be 1-D and match the number of rows")
+    return X, y.astype(np.int64)
+
+
+class Classifier(abc.ABC):
+    """Abstract classifier with integer class labels."""
+
+    classes_: np.ndarray
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on ``(n_samples, n_features)`` data with integer labels."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict integer labels for ``(n_samples, n_features)`` data."""
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy — the paper's successful recognition rate (SR)."""
+        X, y = check_Xy(X, y)
+        return float(np.mean(self.predict(X) == y))
+
+    def get_params(self) -> Dict[str, object]:
+        """Constructor parameters (for grid search cloning)."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.endswith("_") and not key.startswith("_")
+        }
+
+    def clone(self) -> "Classifier":
+        """Fresh unfitted copy with identical hyper-parameters."""
+        return type(self)(**self.get_params())

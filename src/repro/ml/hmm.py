@@ -1,0 +1,143 @@
+"""Gaussian hidden Markov model with Viterbi decoding.
+
+Implements the Eisenbarth et al. baseline (Table 1): per-instruction
+emission templates (diagonal Gaussians) combined with an instruction-
+transition prior estimated from code, decoded over a whole trace sequence
+with Viterbi.  Also reusable by the sequence-aware mode of our own
+disassembler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["GaussianHMM", "transition_matrix_from_sequences"]
+
+
+def transition_matrix_from_sequences(
+    sequences: Sequence[Sequence[int]],
+    n_states: int,
+    smoothing: float = 1.0,
+) -> np.ndarray:
+    """Estimate a row-stochastic transition matrix from label sequences.
+
+    Args:
+        sequences: lists of integer state ids (instruction class codes).
+        n_states: total number of states.
+        smoothing: additive (Laplace) smoothing count.
+    """
+    counts = np.full((n_states, n_states), smoothing, dtype=np.float64)
+    for sequence in sequences:
+        sequence = np.asarray(sequence)
+        for src, dst in zip(sequence[:-1], sequence[1:]):
+            counts[src, dst] += 1.0
+    return counts / counts.sum(axis=1, keepdims=True)
+
+
+class GaussianHMM:
+    """HMM with diagonal-Gaussian emissions and known/estimated dynamics.
+
+    Args:
+        n_states: number of hidden states.
+        var_floor: minimum emission variance.
+    """
+
+    def __init__(self, n_states: int, var_floor: float = 1e-9):
+        self.n_states = n_states
+        self.var_floor = var_floor
+        self.means_: Optional[np.ndarray] = None
+        self.vars_: Optional[np.ndarray] = None
+        self.transitions_: Optional[np.ndarray] = None
+        self.start_probs_: Optional[np.ndarray] = None
+
+    def fit_emissions(self, X: np.ndarray, states: np.ndarray) -> "GaussianHMM":
+        """Fit per-state emission Gaussians from labelled observations."""
+        X = np.asarray(X, dtype=np.float64)
+        states = np.asarray(states, dtype=np.int64)
+        p = X.shape[1]
+        self.means_ = np.zeros((self.n_states, p))
+        self.vars_ = np.ones((self.n_states, p))
+        for s in range(self.n_states):
+            block = X[states == s]
+            if len(block) == 0:
+                raise ValueError(f"state {s} has no training observations")
+            self.means_[s] = block.mean(axis=0)
+            self.vars_[s] = np.maximum(block.var(axis=0), self.var_floor)
+        return self
+
+    def set_transitions(
+        self,
+        transitions: np.ndarray,
+        start_probs: Optional[np.ndarray] = None,
+    ) -> "GaussianHMM":
+        """Install the transition prior (rows must sum to one)."""
+        transitions = np.asarray(transitions, dtype=np.float64)
+        if transitions.shape != (self.n_states, self.n_states):
+            raise ValueError("transition matrix shape mismatch")
+        if not np.allclose(transitions.sum(axis=1), 1.0, atol=1e-6):
+            raise ValueError("transition rows must sum to 1")
+        self.transitions_ = transitions
+        if start_probs is None:
+            start_probs = np.full(self.n_states, 1.0 / self.n_states)
+        self.start_probs_ = np.asarray(start_probs, dtype=np.float64)
+        return self
+
+    def emission_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        """Per-observation, per-state log density, shape ``(T, n_states)``."""
+        if self.means_ is None or self.vars_ is None:
+            raise RuntimeError("emissions are not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty((len(X), self.n_states))
+        for s in range(self.n_states):
+            diff = X - self.means_[s]
+            log_pdf = -0.5 * (
+                np.log(2.0 * np.pi * self.vars_[s]) + diff**2 / self.vars_[s]
+            )
+            out[:, s] = log_pdf.sum(axis=1)
+        return out
+
+    def viterbi(self, X: np.ndarray) -> np.ndarray:
+        """Most probable state sequence for an observation sequence."""
+        if self.transitions_ is None or self.start_probs_ is None:
+            raise RuntimeError("transitions are not set")
+        log_emit = self.emission_log_likelihood(X)
+        log_trans = np.log(self.transitions_ + 1e-300)
+        log_start = np.log(self.start_probs_ + 1e-300)
+        T = len(log_emit)
+        delta = log_start + log_emit[0]
+        back = np.zeros((T, self.n_states), dtype=np.int64)
+        for t in range(1, T):
+            candidates = delta[:, None] + log_trans
+            back[t] = np.argmax(candidates, axis=0)
+            delta = candidates[back[t], np.arange(self.n_states)] + log_emit[t]
+        states = np.empty(T, dtype=np.int64)
+        states[-1] = int(np.argmax(delta))
+        for t in range(T - 2, -1, -1):
+            states[t] = back[t + 1][states[t + 1]]
+        return states
+
+    def decode_posteriors(self, log_posteriors: np.ndarray) -> np.ndarray:
+        """Viterbi over externally supplied per-step class log posteriors.
+
+        Lets any probabilistic classifier provide the "emissions" while the
+        HMM contributes only the sequence prior.
+        """
+        if self.transitions_ is None or self.start_probs_ is None:
+            raise RuntimeError("transitions are not set")
+        log_emit = np.asarray(log_posteriors, dtype=np.float64)
+        log_trans = np.log(self.transitions_ + 1e-300)
+        log_start = np.log(self.start_probs_ + 1e-300)
+        T = len(log_emit)
+        delta = log_start + log_emit[0]
+        back = np.zeros((T, self.n_states), dtype=np.int64)
+        for t in range(1, T):
+            candidates = delta[:, None] + log_trans
+            back[t] = np.argmax(candidates, axis=0)
+            delta = candidates[back[t], np.arange(self.n_states)] + log_emit[t]
+        states = np.empty(T, dtype=np.int64)
+        states[-1] = int(np.argmax(delta))
+        for t in range(T - 2, -1, -1):
+            states[t] = back[t + 1][states[t + 1]]
+        return states

@@ -1,0 +1,52 @@
+"""k-nearest-neighbour classifier.
+
+Used for the Msgna et al. baseline (PCA + 1-NN, Table 1) and available as
+a general estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_Xy
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(Classifier):
+    """Brute-force kNN with Euclidean distance and majority vote.
+
+    Args:
+        n_neighbors: k (Msgna et al. use k = 1).
+        block_size: query rows per distance block (memory control).
+    """
+
+    def __init__(self, n_neighbors: int = 1, block_size: int = 256):
+        self.n_neighbors = n_neighbors
+        self.block_size = block_size
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = check_Xy(X, y)
+        self._X = X
+        self._y = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = check_Xy(X)
+        k = min(self.n_neighbors, len(self._X))
+        train_norms = np.einsum("ij,ij->i", self._X, self._X)
+        out = np.empty(len(X), dtype=np.int64)
+        for start in range(0, len(X), self.block_size):
+            block = X[start:start + self.block_size]
+            d2 = (
+                np.einsum("ij,ij->i", block, block)[:, None]
+                - 2.0 * block @ self._X.T
+                + train_norms[None, :]
+            )
+            nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            for row in range(len(block)):
+                votes = self._y[nearest[row]]
+                values, counts = np.unique(votes, return_counts=True)
+                out[start + row] = values[np.argmax(counts)]
+        return out

@@ -1,0 +1,83 @@
+"""One-vs-one ensemble with majority voting (paper §5.4, Eq. 2-3).
+
+Wraps any binary-capable base classifier into a multiclass ensemble:
+``K(K-1)/2`` binary classifiers vote, and the class with most votes wins
+(ties broken by accumulated soft scores when the base classifier exposes
+``decision_function`` or ``predict_proba``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .base import Classifier, check_Xy
+
+__all__ = ["OneVsOneClassifier"]
+
+
+class OneVsOneClassifier(Classifier):
+    """Generic one-vs-one majority-voting ensemble.
+
+    Args:
+        base_estimator: unfitted binary classifier prototype; it is
+            cloned per class pair.
+    """
+
+    def __init__(self, base_estimator: Classifier):
+        self.base_estimator = base_estimator
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsOneClassifier":
+        X, y = check_Xy(X, y)
+        self.classes_ = np.unique(y)
+        self.estimators_: Dict[Tuple[int, int], Classifier] = {}
+        for a, b in itertools.combinations(range(len(self.classes_)), 2):
+            mask = (y == self.classes_[a]) | (y == self.classes_[b])
+            clone = self.base_estimator.clone()
+            clone.fit(X[mask], y[mask])
+            self.estimators_[(a, b)] = clone
+        return self
+
+    def _pair_soft_score(
+        self, estimator: Classifier, X: np.ndarray, class_a: int
+    ) -> Optional[np.ndarray]:
+        """Signed score favouring ``class_a`` when positive, if available."""
+        if hasattr(estimator, "predict_proba"):
+            proba = estimator.predict_proba(X)
+            column = list(estimator.classes_).index(class_a)
+            return proba[:, column] - 0.5
+        if hasattr(estimator, "decision_function"):
+            decision = estimator.decision_function(X)
+            if decision.ndim == 1:
+                sign = 1.0 if estimator.classes_[0] == class_a else -1.0
+                return sign * decision
+        return None
+
+    def vote_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Raw vote counts, shape ``(n, n_classes)`` (Eq. 3's sum)."""
+        X = check_Xy(X)
+        votes = np.zeros((len(X), len(self.classes_)))
+        for (a, b), estimator in self.estimators_.items():
+            pred = estimator.predict(X)
+            winner_a = pred == self.classes_[a]
+            votes[winner_a, a] += 1
+            votes[~winner_a, b] += 1
+        return votes
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = check_Xy(X)
+        votes = np.zeros((len(X), len(self.classes_)))
+        scores = np.zeros((len(X), len(self.classes_)))
+        for (a, b), estimator in self.estimators_.items():
+            pred = estimator.predict(X)
+            winner_a = pred == self.classes_[a]
+            votes[winner_a, a] += 1
+            votes[~winner_a, b] += 1
+            soft = self._pair_soft_score(estimator, X, self.classes_[a])
+            if soft is not None:
+                scores[:, a] += soft
+                scores[:, b] -= soft
+        ranking = votes + 1e-9 * np.tanh(scores)
+        return self.classes_[np.argmax(ranking, axis=1)]

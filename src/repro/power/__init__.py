@@ -1,0 +1,33 @@
+"""Synthetic power side-channel substrate (model, devices, scope, capture)."""
+
+from .acquisition import (
+    Acquisition,
+    ProgramCapture,
+    default_neighbor_pool,
+    make_devices,
+    random_instance,
+)
+from .cache import TraceCache
+from .config import DEFAULT_GEOMETRY, PowerModelConfig, TraceGeometry
+from .dataset import TraceSet
+from .device import DeviceProfile, ProgramShift, SessionShift
+from .model import PowerModel
+from .scope import Oscilloscope
+
+__all__ = [
+    "Acquisition",
+    "DEFAULT_GEOMETRY",
+    "DeviceProfile",
+    "Oscilloscope",
+    "PowerModel",
+    "PowerModelConfig",
+    "ProgramCapture",
+    "ProgramShift",
+    "SessionShift",
+    "TraceCache",
+    "TraceGeometry",
+    "TraceSet",
+    "default_neighbor_pool",
+    "make_devices",
+    "random_instance",
+]

@@ -1,0 +1,585 @@
+"""Trace acquisition framework (simulated equivalent of the paper's §5.1).
+
+The paper captures each profiled instruction inside the program segment
+template ``SBI, NOP, <random>, <target>, <random>, NOP, CBI``: SBI/CBI
+drive the trigger pin, the NOPs isolate the segment, and random neighbours
+exercise the 2-stage pipeline's prev/next dependence.  3000 traces per
+class are split across 10 uploaded program files, and the averaged
+reference trace of ``SBI, 5×NOP, CBI`` is subtracted from each capture.
+
+This module reproduces the whole flow against the simulated core + power
+model + oscilloscope: program files are generated (with per-file covariate
+shift), executed, rendered, digitized, trigger-aligned, and reference-
+subtracted into a :class:`~repro.power.dataset.TraceSet`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..isa import OperandKind, REGISTRY
+from ..isa.assembler import Instruction
+from ..isa.groups import classification_classes
+from ..sim.cpu import AvrCpu
+from ..sim.state import SRAM_START
+from .config import DEFAULT_GEOMETRY, PowerModelConfig, TraceGeometry
+from .dataset import TraceSet
+from .device import DeviceProfile, ProgramShift, SessionShift
+from .model import PowerModel
+from .scope import Oscilloscope
+
+__all__ = [
+    "Acquisition",
+    "ProgramCapture",
+    "random_instance",
+    "default_neighbor_pool",
+    "make_devices",
+]
+
+#: Trigger instruction parameters (PORTB bit 5, the Arduino LED pin).
+_TRIGGER_IO = 0x05
+_TRIGGER_BIT = 5
+#: Index of the target instruction within the 7-instruction template.
+TARGET_SLOT = 3
+TEMPLATE_LENGTH = 7
+
+# Skip instructions must not occupy the slot right before the target:
+# a taken skip would annihilate the profiled instruction.
+_SKIP_KEYS = frozenset({"CPSE", "SBRC", "SBRS", "SBIC", "SBIS"})
+
+# I/O addresses that IN/OUT/SBI/CBI randomization must avoid (SPL/SPH/SREG).
+_RESERVED_IO = frozenset({0x3D, 0x3E, 0x3F})
+
+#: Default instruction pools for register profiling (§5.3: "the
+#: instruction opcode and the other register are randomly selected").
+#: The Rd pool spans every operand shape that names a destination
+#: register — two-register ALU, single-register ALU and immediate forms —
+#: so register templates generalize to arbitrary code.
+DEFAULT_RD_POOL = (
+    "ADD", "ADC", "SUB", "SBC", "AND", "OR", "EOR", "CP", "CPC", "MOV",
+    "COM", "NEG", "INC", "DEC", "SWAP", "LSR", "ROR", "ASR",
+    "LDI", "ANDI", "ORI", "SUBI", "CPI",
+)
+#: Only two-register instructions carry a source register Rr.
+DEFAULT_RR_POOL = (
+    "ADD", "ADC", "SUB", "SBC", "AND", "OR", "EOR", "CP", "CPC", "MOV",
+)
+
+
+def _register_compatible(key: str, operand_index: int, reg: int) -> bool:
+    """Can ``key``'s operand ``operand_index`` hold register ``reg``?"""
+    operands = REGISTRY[key].operands
+    if operand_index >= len(operands):
+        return False
+    kind = operands[operand_index].kind
+    if kind is OperandKind.REG:
+        return 0 <= reg <= 31
+    if kind is OperandKind.REG_HIGH:
+        return 16 <= reg <= 31
+    return False
+
+
+def random_instance(
+    class_key: str,
+    rng: np.random.Generator,
+    word_address: int = 0,
+    fixed: Optional[Mapping[int, int]] = None,
+) -> Instruction:
+    """Draw a random concrete instance of an instruction class.
+
+    Operand randomization follows the paper: register operands uniform over
+    their file, immediates uniform, while control-flow offsets are pinned so
+    the instruction stream stays linear (branches use offset 0; absolute
+    jumps target the next address).
+
+    Args:
+        class_key: instruction class (e.g. ``"ADC"``).
+        rng: randomness source.
+        word_address: flash word address where the instruction will sit
+            (needed to pin ``JMP``/``CALL`` targets).
+        fixed: operand index -> forced value (register profiling).
+    """
+    spec = REGISTRY[class_key]
+    fixed = fixed or {}
+    values: List[int] = []
+    used_regs: List[int] = []
+    for index, operand in enumerate(spec.operands):
+        if index in fixed:
+            value = int(fixed[index])
+            values.append(value)
+            if operand.kind in (OperandKind.REG, OperandKind.REG_HIGH):
+                used_regs.append(value)
+            continue
+        kind = operand.kind
+        if kind is OperandKind.REG:
+            choices = [r for r in range(32) if r not in used_regs]
+            value = int(rng.choice(choices))
+            used_regs.append(value)
+        elif kind is OperandKind.REG_HIGH:
+            choices = [r for r in range(16, 32) if r not in used_regs]
+            value = int(rng.choice(choices))
+            used_regs.append(value)
+        elif kind is OperandKind.REG_MUL:
+            value = int(rng.integers(16, 24))
+        elif kind is OperandKind.REG_PAIR:
+            value = int(rng.integers(0, 16)) * 2
+        elif kind is OperandKind.REG_PAIR_HIGH:
+            value = int(rng.choice([24, 26, 28, 30]))
+        elif kind is OperandKind.IMM8:
+            value = int(rng.integers(0, 256))
+        elif kind is OperandKind.IMM6:
+            value = int(rng.integers(0, 64))
+        elif kind is OperandKind.DISP6:
+            value = int(rng.integers(0, 64))
+        elif kind is OperandKind.IO5:
+            value = int(rng.integers(0, 32))
+        elif kind is OperandKind.IO6:
+            choices = [a for a in range(64) if a not in _RESERVED_IO]
+            value = int(rng.choice(choices))
+        elif kind in (OperandKind.BIT, OperandKind.SREG_BIT):
+            value = int(rng.integers(0, 8))
+        elif kind is OperandKind.REL7 or kind is OperandKind.REL12:
+            value = 0  # fall through to the next instruction either way
+        elif kind is OperandKind.ABS22:
+            value = word_address + spec.n_words  # jump to next instruction
+        elif kind is OperandKind.ABS16:
+            value = int(rng.integers(SRAM_START, 0x0900))
+        else:  # pragma: no cover - kinds are exhaustive
+            raise NotImplementedError(kind)
+        values.append(value)
+    return Instruction(spec, tuple(values))
+
+
+def default_neighbor_pool() -> List[str]:
+    """Classes eligible as random template neighbours (canonical, grouped)."""
+    pool: List[str] = []
+    for group in range(1, 9):
+        pool.extend(classification_classes(group))
+    return pool
+
+
+def make_devices(
+    n_targets: int,
+    seed: int = 7,
+    component_names: Optional[Iterable[str]] = None,
+) -> Tuple[DeviceProfile, List[DeviceProfile]]:
+    """Sample a training device plus ``n_targets`` target devices."""
+    if component_names is None:
+        component_names = tuple(PowerModelConfig().component_scales)
+    rng = np.random.default_rng(seed)
+    train = DeviceProfile.sample("train", rng, component_names=component_names)
+    targets = [
+        DeviceProfile.sample(f"dev{i + 1}", rng, component_names=component_names)
+        for i in range(n_targets)
+    ]
+    return train, targets
+
+
+@dataclass
+class ProgramCapture:
+    """A captured full-program power trace, windowed per instruction."""
+
+    windows: np.ndarray  #: (n_instructions, window_samples) float32
+    instructions: List[Instruction]
+    events: list
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class Acquisition:
+    """End-to-end simulated capture bench for one device.
+
+    Args:
+        config: power model term amplitudes.
+        device: chip being measured.
+        scope: measurement chain; defaults to the paper's scope settings.
+        geometry: sampling geometry.
+        seed: base seed controlling program generation and noise.
+        neighbor_pool: classes used for random template neighbours.
+        program_shift: sample per-program-file covariate shift (paper §4).
+        session: measurement-session drift applied to every capture.
+        reference_subtraction: subtract the averaged SBI/NOP/CBI reference.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PowerModelConfig] = None,
+        device: Optional[DeviceProfile] = None,
+        scope: Optional[Oscilloscope] = None,
+        geometry: TraceGeometry = DEFAULT_GEOMETRY,
+        seed: int = 2018,
+        neighbor_pool: Optional[Sequence[str]] = None,
+        program_shift: bool = True,
+        session: Optional[SessionShift] = None,
+        reference_subtraction: bool = True,
+    ) -> None:
+        self.config = config if config is not None else PowerModelConfig()
+        self.device = device if device is not None else DeviceProfile()
+        self.geometry = geometry
+        self.model = PowerModel(self.config, self.device, geometry)
+        if scope is None:
+            scope = Oscilloscope(
+                noise_sigma=self.config.electronic_noise, geometry=geometry
+            )
+        self.scope = scope
+        self.seed = seed
+        self.neighbor_pool = (
+            list(neighbor_pool) if neighbor_pool is not None
+            else default_neighbor_pool()
+        )
+        self.program_shift = program_shift
+        self.session = session if session is not None else SessionShift()
+        self.reference_subtraction = reference_subtraction
+        self._reference: Optional[np.ndarray] = None
+
+    # -- seeding -------------------------------------------------------------
+    def _rng(self, *tokens) -> np.random.Generator:
+        text = "|".join(str(t) for t in (self.device.name,) + tokens)
+        return np.random.default_rng(
+            (self.seed << 32) ^ zlib.crc32(text.encode("utf-8"))
+        )
+
+    # -- program generation ----------------------------------------------------
+    def _random_neighbor(
+        self, rng: np.random.Generator, word_address: int, before_target: bool
+    ) -> Instruction:
+        while True:
+            key = str(rng.choice(self.neighbor_pool))
+            if before_target and REGISTRY[key].semantics in _SKIP_KEYS:
+                continue
+            return random_instance(key, rng, word_address=word_address)
+
+    def _build_segments(
+        self,
+        rng: np.random.Generator,
+        n_segments: int,
+        target_key: Optional[str],
+        fixed: Optional[Mapping[int, int]] = None,
+        target_sampler=None,
+    ) -> Tuple[List[Instruction], List[int]]:
+        """Generate template segments; returns instructions + target indices."""
+        sbi = Instruction(REGISTRY["SBI"], (_TRIGGER_IO, _TRIGGER_BIT))
+        cbi = Instruction(REGISTRY["CBI"], (_TRIGGER_IO, _TRIGGER_BIT))
+        nop = Instruction(REGISTRY["NOP"], ())
+        instructions: List[Instruction] = []
+        target_indices: List[int] = []
+        address = 0
+        for _ in range(n_segments):
+            for slot in range(TEMPLATE_LENGTH):
+                if slot == 0:
+                    instr = sbi
+                elif slot in (1, 5):
+                    instr = nop
+                elif slot == 6:
+                    instr = cbi
+                elif slot == TARGET_SLOT:
+                    if target_sampler is not None:
+                        instr = target_sampler(rng, address)
+                    elif target_key is not None:
+                        instr = random_instance(
+                            target_key, rng, word_address=address, fixed=fixed
+                        )
+                    else:
+                        instr = nop
+                    target_indices.append(len(instructions))
+                else:
+                    instr = self._random_neighbor(
+                        rng, address, before_target=(slot == TARGET_SLOT - 1)
+                    )
+                instructions.append(instr)
+                address += instr.spec.n_words
+        return instructions, target_indices
+
+    def _randomize_state(self, cpu: AvrCpu, rng: np.random.Generator) -> None:
+        for reg in range(32):
+            cpu.state.set_reg(reg, int(rng.integers(0, 256)))
+        # Point X/Y/Z into SRAM so indirect accesses start in a sane place.
+        for low in (26, 28, 30):
+            cpu.state.set_reg_pair(
+                low, int(rng.integers(SRAM_START + 0x80, 0x0800))
+            )
+        sram = rng.integers(0, 256, 0x0900 - SRAM_START, dtype=np.uint8)
+        cpu.state.data[SRAM_START:] = sram.tobytes()
+
+    # -- capture -------------------------------------------------------------
+    def _capture_program(
+        self,
+        instructions: List[Instruction],
+        rng: np.random.Generator,
+        shift: Optional[ProgramShift],
+    ) -> np.ndarray:
+        """Run + render + digitize one program file; returns the raw trace."""
+        cpu = AvrCpu(instructions)
+        self._randomize_state(cpu, rng)
+        events = cpu.run(max_steps=len(instructions))
+        analog = self.model.render_events(events)
+        if shift is not None:
+            analog = shift.apply(analog, self.geometry.samples_per_cycle)
+        analog = self.session.apply(analog)
+        noise_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        saved_sigma = self.scope.noise_sigma
+        try:
+            self.scope.noise_sigma = saved_sigma * self.session.noise_scale
+            return self.scope.digitize(analog, noise_rng)
+        finally:
+            self.scope.noise_sigma = saved_sigma
+
+    def _windows(
+        self,
+        trace: np.ndarray,
+        target_indices: Sequence[int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        spc = self.geometry.samples_per_cycle
+        length = self.geometry.window_samples
+        out = np.empty((len(target_indices), length), dtype=np.float32)
+        for row, index in enumerate(target_indices):
+            start = index * spc + self.scope.trigger_offset(rng)
+            start = max(0, min(start, len(trace) - length))
+            out[row] = trace[start:start + length]
+        return out
+
+    def reference_window(self) -> np.ndarray:
+        """Averaged ``SBI, 5×NOP, CBI`` reference window (cached)."""
+        if self._reference is None:
+            rng = self._rng("reference")
+            shift = ProgramShift.sample(rng) if self.program_shift else None
+            instructions, targets = self._build_segments(
+                rng, n_segments=64, target_key=None
+            )
+            trace = self._capture_program(instructions, rng, shift)
+            windows = self._windows(trace, targets, rng)
+            self._reference = windows.mean(axis=0)
+        return self._reference
+
+    def capture_class(
+        self,
+        class_key: str,
+        n_traces: int,
+        n_programs: int = 10,
+        fixed: Optional[Mapping[int, int]] = None,
+        label_override: Optional[str] = None,
+        target_sampler=None,
+        program_id_offset: int = 0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Capture ``n_traces`` of one class across ``n_programs`` files.
+
+        Returns:
+            ``(windows, program_ids)`` arrays.
+        """
+        per_file = [n_traces // n_programs] * n_programs
+        for i in range(n_traces - sum(per_file)):
+            per_file[i] += 1
+        reference = (
+            self.reference_window() if self.reference_subtraction else None
+        )
+        label = label_override if label_override is not None else class_key
+        all_windows: List[np.ndarray] = []
+        program_ids: List[int] = []
+        for file_index, count in enumerate(per_file):
+            if count == 0:
+                continue
+            rng = self._rng("class", label, "file", file_index)
+            shift = ProgramShift.sample(rng) if self.program_shift else None
+            instructions, targets = self._build_segments(
+                rng,
+                n_segments=count,
+                target_key=class_key,
+                fixed=fixed,
+                target_sampler=target_sampler,
+            )
+            trace = self._capture_program(instructions, rng, shift)
+            windows = self._windows(trace, targets, rng)
+            if reference is not None:
+                windows = windows - reference
+            all_windows.append(windows)
+            program_ids.extend([program_id_offset + file_index] * count)
+        return np.concatenate(all_windows), np.array(program_ids)
+
+    def capture_instruction_set(
+        self,
+        class_keys: Sequence[str],
+        n_per_class: int,
+        n_programs: int = 10,
+    ) -> TraceSet:
+        """Capture a labelled instruction-classification dataset."""
+        traces: List[np.ndarray] = []
+        labels: List[int] = []
+        program_ids: List[np.ndarray] = []
+        for code, key in enumerate(class_keys):
+            windows, pids = self.capture_class(key, n_per_class, n_programs)
+            traces.append(windows)
+            labels.extend([code] * len(windows))
+            program_ids.append(pids)
+        return TraceSet(
+            traces=np.concatenate(traces),
+            labels=np.array(labels),
+            label_names=tuple(class_keys),
+            program_ids=np.concatenate(program_ids),
+            device=self.device.name,
+            meta={"kind": "instruction", "n_programs": n_programs},
+        )
+
+    def capture_register_set(
+        self,
+        role: str,
+        registers: Sequence[int],
+        n_per_class: int,
+        n_programs: int = 10,
+        instruction_pool: Optional[Sequence[str]] = None,
+    ) -> TraceSet:
+        """Capture a register-identification dataset (paper §5.3).
+
+        For each profiled register, the instruction and the *other*
+        register are randomized per trace.
+
+        Args:
+            role: ``"Rd"`` (destination, operand 0) or ``"Rr"`` (source,
+                operand 1).
+            registers: register addresses to profile.
+            instruction_pool: two-register classes to sample from; defaults
+                to the canonical group-1 ALU instructions.
+        """
+        if role not in ("Rd", "Rr"):
+            raise ValueError("role must be 'Rd' or 'Rr'")
+        operand_index = 0 if role == "Rd" else 1
+        if instruction_pool is None:
+            instruction_pool = (
+                DEFAULT_RD_POOL if role == "Rd" else DEFAULT_RR_POOL
+            )
+        pool = list(instruction_pool)
+        traces: List[np.ndarray] = []
+        labels: List[int] = []
+        program_ids: List[np.ndarray] = []
+        label_names = tuple(f"{role}{reg}" for reg in registers)
+        for code, reg in enumerate(registers):
+            compatible = [
+                key for key in pool
+                if _register_compatible(key, operand_index, reg)
+            ]
+            if not compatible:
+                raise ValueError(
+                    f"no instruction in the pool accepts {role}=r{reg}"
+                )
+
+            def sampler(rng, address, _reg=reg, _pool=compatible):
+                key = str(rng.choice(_pool))
+                return random_instance(
+                    key, rng, word_address=address,
+                    fixed={operand_index: _reg},
+                )
+
+            windows, pids = self.capture_class(
+                class_key=pool[0],
+                n_traces=n_per_class,
+                n_programs=n_programs,
+                label_override=label_names[code],
+                target_sampler=sampler,
+            )
+            traces.append(windows)
+            labels.extend([code] * len(windows))
+            program_ids.append(pids)
+        return TraceSet(
+            traces=np.concatenate(traces),
+            labels=np.array(labels),
+            label_names=label_names,
+            program_ids=np.concatenate(program_ids),
+            device=self.device.name,
+            meta={"kind": f"register-{role}", "n_programs": n_programs},
+        )
+
+    def capture_mixed_program(
+        self,
+        class_keys: Sequence[str],
+        n_per_class: int,
+        program_id: int = 0,
+        fixed_by_class: Optional[Mapping[str, Mapping[int, int]]] = None,
+        target_sampler_by_class: Optional[Mapping[str, object]] = None,
+    ) -> TraceSet:
+        """Capture all classes interleaved inside ONE program file.
+
+        This models the *deployment* scenario (§4's "real program"): every
+        class experiences the same program-level covariate shift, exactly
+        as when disassembling genuine firmware.  Profiling captures, by
+        contrast, place each class in its own files
+        (:meth:`capture_instruction_set`), as the paper's flash-limited
+        upload flow does.
+
+        Args:
+            class_keys: classes to interleave.
+            n_per_class: traces per class.
+            program_id: program id recorded for all traces (also varies
+                the generated program and its covariate shift).
+            fixed_by_class: per-class fixed operand maps.
+            target_sampler_by_class: per-class instruction samplers
+                (overrides ``fixed_by_class`` for that class).
+
+        Returns:
+            A labelled :class:`TraceSet` with a single program id.
+        """
+        rng = self._rng("mixed", ",".join(class_keys), program_id)
+        shift = ProgramShift.sample(rng) if self.program_shift else None
+        order = np.repeat(np.arange(len(class_keys)), n_per_class)
+        rng.shuffle(order)
+
+        def sampler(segment_rng, address, _state={"i": 0}):
+            code = order[_state["i"]]
+            _state["i"] += 1
+            key = class_keys[code]
+            if target_sampler_by_class and key in target_sampler_by_class:
+                return target_sampler_by_class[key](segment_rng, address)
+            fixed = (fixed_by_class or {}).get(key)
+            return random_instance(
+                key, segment_rng, word_address=address, fixed=fixed
+            )
+
+        instructions, targets = self._build_segments(
+            rng, n_segments=len(order), target_key=None, target_sampler=sampler
+        )
+        trace = self._capture_program(instructions, rng, shift)
+        windows = self._windows(trace, targets, rng)
+        if self.reference_subtraction:
+            windows = windows - self.reference_window()
+        return TraceSet(
+            traces=windows,
+            labels=order,
+            label_names=tuple(class_keys),
+            program_ids=np.full(len(order), program_id),
+            device=self.device.name,
+            meta={"kind": "mixed-program", "program_id": program_id},
+        )
+
+    def capture_program(self, program) -> ProgramCapture:
+        """Capture a *real program* end to end (the deployment scenario).
+
+        Args:
+            program: assembly text, opcode words, or instruction list.
+
+        Returns:
+            :class:`ProgramCapture` with one window per executed
+            instruction, reference-subtracted like the profiling traces.
+        """
+        rng = self._rng("program", getattr(program, "__hash__", lambda: 0)())
+        cpu = AvrCpu(program)
+        self._randomize_state(cpu, rng)
+        events = cpu.run(max_steps=200_000)
+        analog = self.model.render_events(events)
+        shift = ProgramShift.sample(rng) if self.program_shift else None
+        if shift is not None:
+            analog = shift.apply(analog, self.geometry.samples_per_cycle)
+        analog = self.session.apply(analog)
+        noise_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        trace = self.scope.digitize(analog, noise_rng)
+        windows = self._windows(trace, list(range(len(events))), rng)
+        if self.reference_subtraction:
+            windows = windows - self.reference_window()
+        return ProgramCapture(
+            windows=windows,
+            instructions=[e.instruction for e in events],
+            events=events,
+        )

@@ -1,0 +1,80 @@
+"""On-disk cache for captured trace sets.
+
+Acquisition is deterministic given its seeds and configuration, so
+repeated experiment runs (e.g. iterating on classifier settings) can skip
+the capture step entirely.  The cache key must encode *everything* that
+influences the traces — the caller passes the relevant parameters and the
+cache hashes them together with the library version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Optional
+
+from .dataset import TraceSet
+
+__all__ = ["TraceCache"]
+
+
+def _stable_hash(payload) -> str:
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
+
+
+class TraceCache:
+    """Explicit npz-backed memoization of trace captures.
+
+    Args:
+        directory: cache root (created on first use).
+        version_salt: bump to invalidate all entries (e.g. after power
+            model changes); defaults to the package version.
+
+    Example::
+
+        cache = TraceCache("~/.cache/repro-traces")
+        traces = cache.get_or_capture(
+            {"kind": "instr", "classes": keys, "n": 300, "seed": 2018},
+            lambda: acq.capture_instruction_set(keys, 300, 10),
+        )
+    """
+
+    def __init__(self, directory, version_salt: Optional[str] = None) -> None:
+        self.directory = Path(directory).expanduser()
+        if version_salt is None:
+            from .. import __version__
+
+            version_salt = __version__
+        self.version_salt = version_salt
+
+    def _path_for(self, key) -> Path:
+        digest = _stable_hash({"salt": self.version_salt, "key": key})
+        return self.directory / f"{digest}.npz"
+
+    def get_or_capture(
+        self, key, capture: Callable[[], TraceSet]
+    ) -> TraceSet:
+        """Return the cached trace set for ``key``, capturing on a miss."""
+        path = self._path_for(key)
+        if path.exists():
+            return TraceSet.load(path)
+        trace_set = capture()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        trace_set.save(path)
+        return trace_set
+
+    def contains(self, key) -> bool:
+        """True when ``key`` is cached."""
+        return self._path_for(key).exists()
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.npz"):
+            path.unlink()
+            removed += 1
+        return removed

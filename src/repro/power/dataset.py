@@ -1,0 +1,144 @@
+"""Trace dataset containers.
+
+A :class:`TraceSet` bundles power traces with their class labels and the
+acquisition metadata (program file of origin, device) that the covariate
+shift experiments need.  Labels are stored as integer codes plus a label
+name table, scikit-learn style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TraceSet"]
+
+
+@dataclass
+class TraceSet:
+    """Power traces with labels and acquisition provenance.
+
+    Attributes:
+        traces: ``(n_traces, n_samples)`` float32 array.
+        labels: ``(n_traces,)`` integer class codes.
+        label_names: code -> class key (e.g. ``"ADC"`` or ``"Rd17"``).
+        program_ids: ``(n_traces,)`` program file of origin (covariate
+            shift experiments group by this).
+        device: name of the device the traces were captured from.
+        meta: free-form acquisition metadata.
+    """
+
+    traces: np.ndarray
+    labels: np.ndarray
+    label_names: Tuple[str, ...]
+    program_ids: np.ndarray
+    device: str = "train"
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.traces = np.asarray(self.traces, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.program_ids = np.asarray(self.program_ids, dtype=np.int64)
+        if len(self.traces) != len(self.labels):
+            raise ValueError("traces and labels length mismatch")
+        if len(self.traces) != len(self.program_ids):
+            raise ValueError("traces and program_ids length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    @property
+    def n_samples(self) -> int:
+        """Samples per trace."""
+        return self.traces.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct classes in the label table."""
+        return len(self.label_names)
+
+    def key_of(self, index: int) -> str:
+        """Class key of trace ``index``."""
+        return self.label_names[self.labels[index]]
+
+    def class_indices(self, key: str) -> np.ndarray:
+        """Row indices of all traces of one class."""
+        code = self.label_names.index(key)
+        return np.flatnonzero(self.labels == code)
+
+    def select(self, mask: np.ndarray) -> "TraceSet":
+        """Subset by boolean mask or index array (labels table kept)."""
+        return TraceSet(
+            traces=self.traces[mask],
+            labels=self.labels[mask],
+            label_names=self.label_names,
+            program_ids=self.program_ids[mask],
+            device=self.device,
+            meta=dict(self.meta),
+        )
+
+    def split_by_programs(
+        self, test_programs: Sequence[int]
+    ) -> Tuple["TraceSet", "TraceSet"]:
+        """Hold out whole program files (the paper's practical scenario)."""
+        test_set = set(int(p) for p in test_programs)
+        mask = np.array([int(p) in test_set for p in self.program_ids])
+        return self.select(~mask), self.select(mask)
+
+    def split_random(
+        self, train_fraction: float, rng: np.random.Generator
+    ) -> Tuple["TraceSet", "TraceSet"]:
+        """Random stratified split (the paper's initial scenario)."""
+        train_idx: List[int] = []
+        test_idx: List[int] = []
+        for code in range(self.n_classes):
+            rows = np.flatnonzero(self.labels == code)
+            rows = rows[rng.permutation(len(rows))]
+            cut = int(round(train_fraction * len(rows)))
+            train_idx.extend(rows[:cut])
+            test_idx.extend(rows[cut:])
+        return self.select(np.array(train_idx)), self.select(np.array(test_idx))
+
+    @staticmethod
+    def concatenate(parts: Sequence["TraceSet"]) -> "TraceSet":
+        """Concatenate trace sets sharing one label table."""
+        if not parts:
+            raise ValueError("nothing to concatenate")
+        names = parts[0].label_names
+        for part in parts:
+            if part.label_names != names:
+                raise ValueError("label tables differ; re-encode first")
+        return TraceSet(
+            traces=np.concatenate([p.traces for p in parts]),
+            labels=np.concatenate([p.labels for p in parts]),
+            label_names=names,
+            program_ids=np.concatenate([p.program_ids for p in parts]),
+            device=parts[0].device,
+            meta=dict(parts[0].meta),
+        )
+
+    def save(self, path) -> None:
+        """Persist to ``.npz``."""
+        np.savez_compressed(
+            Path(path),
+            traces=self.traces,
+            labels=self.labels,
+            label_names=np.array(self.label_names),
+            program_ids=self.program_ids,
+            device=np.array(self.device),
+        )
+
+    @classmethod
+    def load(cls, path) -> "TraceSet":
+        """Load from ``.npz``."""
+        data = np.load(Path(path), allow_pickle=False)
+        return cls(
+            traces=data["traces"],
+            labels=data["labels"],
+            label_names=tuple(str(x) for x in data["label_names"]),
+            program_ids=data["program_ids"],
+            device=str(data["device"]),
+        )

@@ -1,0 +1,472 @@
+"""Microarchitectural power model for the simulated AVR core.
+
+The model converts the event stream of :class:`repro.sim.AvrCpu` into an
+"analog" current waveform, one pipeline slot per clock cycle:
+
+* cycle ``i`` contains the *execute-stage* activity of instruction ``i``
+  plus the *fetch* activity of instruction ``i+1`` (2-stage pipeline);
+* the profiling window of instruction ``i`` is its fetch/decode cycle
+  followed by its execute cycle — 315 samples with default geometry,
+  matching the paper's §3.
+
+Every term is computed from what the core actually did.  Terms are keyed
+on **canonical** instruction semantics and on real encodings, never on the
+textual alias class — ``TST r5`` is electrically identical to
+``AND r5, r5``, exactly as on silicon.
+
+The model is deterministic given (config seed, device profile): per-bit
+weight vectors, ALU sub-unit signatures and per-class control-path residues
+are drawn from seeded RNGs, so a :class:`PowerModel` plays the role of one
+physical chip design, and :class:`~repro.power.device.DeviceProfile` adds
+per-chip process variation on top.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.cpu import canonicalize
+from ..sim.events import ExecEvent
+from .config import DEFAULT_GEOMETRY, PowerModelConfig, TraceGeometry
+from .device import DeviceProfile
+
+__all__ = ["PowerModel"]
+
+# Canonical semantics treated as "skip unit" rather than branch unit.
+_SKIP_SEMANTICS = frozenset({"CPSE", "SBRC", "SBRS", "SBIC", "SBIS"})
+# Canonical semantics exercising the bit-manipulation unit.
+_BIT_SEMANTICS = frozenset({"BSET", "BCLR", "BST", "BLD", "SBI", "CBI"})
+
+
+def _popcount(value: int) -> int:
+    return bin(value & 0xFFFFFFFF).count("1")
+
+
+# Operand kinds that drive the register-file address decode ports.
+from ..isa.operands import OperandKind as _OperandKind
+
+_PORT_KINDS = (
+    _OperandKind.REG,
+    _OperandKind.REG_HIGH,
+    _OperandKind.REG_MUL,
+    _OperandKind.REG_PAIR,
+    _OperandKind.REG_PAIR_HIGH,
+)
+
+
+def _register_operands(instruction) -> tuple:
+    """Register addresses in operand order (port A first, port B second)."""
+    return tuple(
+        value
+        for operand, value in zip(instruction.spec.operands, instruction.values)
+        if operand.kind in _PORT_KINDS
+    )
+
+
+class PowerModel:
+    """Renders instruction event streams into synthetic power traces.
+
+    Args:
+        config: term amplitudes; defaults are calibrated for the paper's
+            separability ordering.
+        device: per-chip process variation (defaults to a nominal chip).
+        geometry: sampling geometry (clock, sample rate, window length).
+    """
+
+    def __init__(
+        self,
+        config: Optional[PowerModelConfig] = None,
+        device: Optional[DeviceProfile] = None,
+        geometry: TraceGeometry = DEFAULT_GEOMETRY,
+    ) -> None:
+        self.config = config if config is not None else PowerModelConfig()
+        self.device = device if device is not None else DeviceProfile()
+        self.geometry = geometry
+        self._spc = geometry.samples_per_cycle
+        self._aluop_cache: Dict[str, np.ndarray] = {}
+        self._class_bias_cache: Dict[str, np.ndarray] = {}
+        self._build_envelopes()
+
+    # -- deterministic weight construction ---------------------------------
+    def _rng_for(self, *tokens) -> np.random.Generator:
+        text = "|".join(str(t) for t in tokens)
+        digest = zlib.crc32(text.encode("utf-8"))
+        return np.random.default_rng((self.config.seed << 32) ^ digest)
+
+    def _env(self, center: float, width: float) -> np.ndarray:
+        """Gaussian activity envelope over one clock cycle (unit peak)."""
+        t = (np.arange(self._spc) + 0.5) / self._spc
+        return np.exp(-0.5 * ((t - center) / width) ** 2)
+
+    def _jitter(self, rng_tokens: Tuple, size: int) -> np.ndarray:
+        """Per-device multiplicative mismatch on a weight vector."""
+        if self.device.weight_jitter <= 0.0:
+            return np.ones(size)
+        rng = np.random.default_rng(
+            (self.device.weight_jitter_seed << 16)
+            ^ zlib.crc32("|".join(str(t) for t in rng_tokens).encode())
+        )
+        return rng.normal(1.0, self.device.weight_jitter, size)
+
+    def _bandpass_noise(self, token: str, sigma_fast: float,
+                        sigma_slow: float) -> np.ndarray:
+        """Unit-RMS band-limited noise (difference of Gaussian smoothings).
+
+        The band sits *above* the environment-shift passband (supply
+        tilt is a low-frequency phenomenon), which is what keeps these
+        signatures usable across programs, sessions and devices.
+        """
+        rng = self._rng_for("bandnoise", token)
+        raw = rng.normal(0.0, 1.0, self._spc)
+
+        def smooth(sig):
+            half = int(np.ceil(3 * sig))
+            support = np.arange(-half, half + 1, dtype=np.float64)
+            kernel = np.exp(-0.5 * (support / sig) ** 2)
+            return np.convolve(raw, kernel / kernel.sum(), mode="same")
+
+        band = smooth(sigma_fast) - smooth(sigma_slow)
+        rms = float(np.sqrt(np.mean(band**2))) or 1.0
+        return band / rms
+
+    def _line_transient(self, token: str) -> np.ndarray:
+        """Unit-RMS fine-structured switching transient of one wire."""
+        return self._bandpass_noise(f"line|{token}", 0.8, 2.2)
+
+    def _build_envelopes(self) -> None:
+        cfg = self.config
+        spc = self._spc
+
+        # Clock feedthrough: sharp edge at cycle start + midpoint.
+        t = (np.arange(spc) + 0.5) / spc
+        clock = np.exp(-t / 0.045) + 0.55 * np.exp(-((t - 0.5) % 1.0) / 0.045)
+        self._clock = cfg.clock_scale * clock
+
+        # Fetch-stage envelopes.
+        self._env_fetch_hw = self._env(0.10, 0.030)
+        self._env_fetch_hd = self._env(0.15, 0.028)
+        # Decode logic: one envelope per opcode bit, staggered in time with
+        # a deterministic per-bit weight (then per-device jitter).
+        weights = self._rng_for("decode").uniform(0.5, 1.5, 16)
+        weights = weights * self._jitter(("decode",), 16)
+        # Decode activity finishes early in the cycle, before the ALU's
+        # sub-unit phases — so a *neighbour's* concurrent fetch/decode
+        # does not sit on top of the target's execute signature.
+        self._decode_bank = np.stack(
+            [
+                cfg.decode_scale * weights[b]
+                * self._env(0.14 + 0.015 * b, 0.026)
+                for b in range(16)
+            ]
+        )
+
+        # Register-file ports: 5 address-decode lines each + HW term.
+        self._port_banks: Dict[str, np.ndarray] = {}
+        self._port_hw_env: Dict[str, np.ndarray] = {}
+        # Register-file address lines: each of the five address bits per
+        # port drives a different wire load, so its switching rings at a
+        # distinct frequency.  The bits therefore separate along the CWT's
+        # *scale* axis even though they coincide in time — the kind of
+        # time-frequency structure the paper's feature selection exploits.
+        # The register file is an 8-row x 4-column array; each port
+        # one-hot activates one row word-line and one column select line.
+        # Every line drives a distinct wire network, so its switching
+        # transient is a unique fine-structured waveform confined to the
+        # port's time slot — registers separate cleanly in the
+        # time-frequency plane, and adjacent addresses (different rows)
+        # are as distinguishable as distant ones.  The transients'
+        # content sits above the environment-shift passband, which is
+        # what keeps register recovery CSA-friendly.
+        port_layout = {
+            # port: (centre phase, region width, relative drive strength)
+            "read_a": (0.10, 0.060, 1.0),
+            "write": (0.60, 0.060, 1.0),
+            # Port B drives the longer operand bus: stronger transients.
+            "read_b": (0.83, 0.075, 1.6),
+        }
+        self._port_row_banks: Dict[str, np.ndarray] = {}
+        self._port_col_banks: Dict[str, np.ndarray] = {}
+        for port, (center, width, strength) in port_layout.items():
+            amp = strength * cfg.regaddr_bit_scale
+            mask = self._env(center, width)
+            row_w = self._rng_for("regrow", port).uniform(0.7, 1.3, 8)
+            row_w = row_w * self._jitter(("regrow", port), 8)
+            rows = []
+            for line in range(8):
+                transient = self._line_transient(f"{port}|row{line}")
+                rows.append(amp * row_w[line] * mask * transient)
+            self._port_row_banks[port] = np.stack(rows)
+            col_w = self._rng_for("regcol", port).uniform(0.7, 1.3, 4)
+            col_w = col_w * self._jitter(("regcol", port), 4)
+            cols = []
+            for line in range(4):
+                transient = self._line_transient(f"{port}|col{line}")
+                cols.append(0.9 * amp * col_w[line] * mask * transient)
+            self._port_col_banks[port] = np.stack(cols)
+            self._port_hw_env[port] = strength * cfg.regaddr_hw_scale * self._env(
+                center + 0.06, 0.035
+            )
+
+        # Microarchitectural component activations.
+        shapes = {
+            "regfile_read": [(0.15, 0.06, 1.0)],
+            "regfile_write": [(0.63, 0.05, 1.0)],
+            "alu": [(0.38, 0.055, 1.0), (0.50, 0.045, 0.6)],
+            "sreg": [(0.72, 0.035, 1.0)],
+            "mem_load": [(0.45, 0.05, 0.7), (0.58, 0.08, 1.0)],
+            "mem_store": [(0.48, 0.05, 0.8), (0.66, 0.08, 1.0)],
+            "io": [(0.55, 0.06, 1.0)],
+            "branch": [(0.70, 0.05, 1.0), (0.82, 0.04, 0.5)],
+            "skip": [(0.44, 0.05, 1.0)],
+            "bit_unit": [(0.42, 0.04, 1.0)],
+            "flash_data": [(0.52, 0.07, 1.0)],
+        }
+        self._components: Dict[str, np.ndarray] = {}
+        for name, bumps in shapes.items():
+            waveform = np.zeros(spc)
+            for center, width, amp in bumps:
+                waveform += amp * self._env(center, width)
+            scale = cfg.component_scales[name] * self.device.component_scale(name)
+            self._components[name] = scale * waveform
+
+        # Value-dependent envelopes.
+        self._env_op_a = self._env(0.33, 0.035)
+        self._env_op_b = self._env(0.40, 0.035)
+        self._env_result = self._env(0.52, 0.035)
+        self._env_mem_addr = self._env(0.47, 0.035)
+        self._env_mem_data = self._env(0.60, 0.040)
+        self._env_word2 = self._env(0.08, 0.030)
+        # SREG: one envelope per flag bit.
+        sreg_w = self._rng_for("sreg").uniform(0.6, 1.4, 8)
+        self._sreg_bank = np.stack(
+            [
+                cfg.sreg_scale * sreg_w[b] * self._env(0.70 + 0.012 * b, 0.020)
+                for b in range(8)
+            ]
+        )
+
+    def _aluop_signature(self, semantics: str) -> np.ndarray:
+        """Per-operation ALU sub-unit signature (adder vs logic vs shifter)."""
+        cached = self._aluop_cache.get(semantics)
+        if cached is None:
+            rng = self._rng_for("aluop", semantics)
+            amplitudes = rng.normal(0.0, 1.0, 6)
+            waveform = np.zeros(self._spc)
+            for i, amp in enumerate(amplitudes):
+                waveform += amp * self._env(0.38 + 0.048 * i, 0.028)
+            cached = self.config.aluop_scale * waveform
+            self._aluop_cache[semantics] = cached
+        return cached
+
+    def _smooth_residue(
+        self, token: str, scale: float, kernel_sigma: float = 2.2
+    ) -> np.ndarray:
+        rng = self._rng_for("residue", token)
+        raw = rng.normal(0.0, 1.0, self._spc)
+        half = int(np.ceil(3 * kernel_sigma))
+        support = np.arange(-half, half + 1, dtype=np.float64)
+        kernel = np.exp(-0.5 * (support / kernel_sigma) ** 2)
+        smooth = np.convolve(raw, kernel / kernel.sum(), mode="same")
+        rms = float(np.sqrt(np.mean(smooth**2))) or 1.0
+        # Control-path activity concentrates in the decode/ALU phases of
+        # the cycle; the early port-A and late write-back/port-B phases
+        # are dominated by the register-file address lines.  Confining the
+        # residue there keeps register leakage instruction-independent —
+        # which is what lets the paper profile registers under randomly
+        # selected instructions (§5.3).
+        window = self._env(0.48, 0.13)
+        return scale * (smooth / rms) * window
+
+    def _class_bias(self, class_key: str) -> np.ndarray:
+        """Per-class control-path residue, in two frequency bands.
+
+        The *coarse* band (large amplitude, low frequency) is the most
+        discriminative content in a stationary environment — and exactly
+        what program-level spectral tilt moves (Fig. 3's trap: the highest
+        between-class KL peaks are the least shift-robust).  The *fine*
+        band is weaker but lives above the tilt passband, so it is what
+        survives the covariate-shift-adapted feature selection.
+        """
+        cached = self._class_bias_cache.get(class_key)
+        if cached is None:
+            window = self._env(0.48, 0.13)
+            fine = (
+                self.config.class_bias_scale
+                * self._bandpass_noise(f"class|{class_key}", 0.8, 2.2)
+                * window
+            )
+            coarse = self._smooth_residue(
+                f"classlow|{class_key}", self.config.class_energy_scale,
+                kernel_sigma=6.5,
+            )
+            cached = fine + coarse
+            self._class_bias_cache[class_key] = cached
+        return cached
+
+    def _group_bias(self, group) -> np.ndarray:
+        """Decoder/sequencer signature of one Table 2 instruction group."""
+        key = f"group|{group}"
+        cached = self._class_bias_cache.get(key)
+        if cached is None:
+            cached = self._smooth_residue(key, self.config.group_bias_scale)
+            self._class_bias_cache[key] = cached
+        return cached
+
+    # -- per-cycle activity --------------------------------------------------
+    def _fetch_activity(
+        self, words: Tuple[int, ...], prev_words: Tuple[int, ...]
+    ) -> np.ndarray:
+        """Fetch + decode activity for the instruction entering the pipe."""
+        out = np.zeros(self._spc)
+        if not words:
+            return out
+        word = words[0]
+        out += self.config.flash_hw_scale * _popcount(word) * self._env_fetch_hw
+        if prev_words:
+            transitions = _popcount(word ^ prev_words[-1])
+            out += self.config.flash_hd_scale * transitions * self._env_fetch_hd
+        bits = (word >> np.arange(16)) & 1
+        out += bits @ self._decode_bank
+        return out
+
+    def _port_activity(self, port: str, reg: int) -> np.ndarray:
+        row, col = reg % 8, reg // 8
+        out = self._port_row_banks[port][row] + self._port_col_banks[port][col]
+        out = out + _popcount(reg) * self._port_hw_env[port]
+        return out
+
+    def _execute_activity(self, event: ExecEvent) -> np.ndarray:
+        cfg = self.config
+        out = np.zeros(self._spc)
+        if event.skipped:
+            # Pipeline bubble: flush residue only.
+            out += 0.30 * self._components["skip"]
+            return out
+
+        canonical = canonicalize(event.instruction)
+        semantics = canonical.spec.semantics
+
+        # Register-file address decode: the AVR register file decodes the
+        # opcode's d/r fields on both read ports every cycle, regardless
+        # of whether the operation consumes the data — so port activity
+        # is keyed on operand *addresses*, not on semantic reads.
+        port_regs = _register_operands(canonical)
+        if port_regs:
+            out += self._port_activity("read_a", port_regs[0])
+        if len(port_regs) > 1:
+            out += self._port_activity("read_b", port_regs[1])
+        if event.reads:
+            out += self._components["regfile_read"]
+            for read in event.reads[:2]:
+                out += cfg.data_hw_scale * _popcount(read.value) * self._env_op_a
+        if event.writes:
+            out += self._components["regfile_write"]
+            write = event.writes[0]
+            out += self._port_activity("write", write.reg)
+            out += (
+                cfg.data_hd_scale
+                * _popcount(write.old ^ write.new)
+                * self._env_result
+            )
+        if event.alu_result is not None or event.alu_operands:
+            out += self._components["alu"]
+            out += self._aluop_signature(semantics)
+            for env, value in zip(
+                (self._env_op_a, self._env_op_b), event.alu_operands
+            ):
+                out += cfg.data_hw_scale * _popcount(value) * env
+            if event.alu_result is not None:
+                out += (
+                    cfg.data_hw_scale
+                    * _popcount(event.alu_result)
+                    * self._env_result
+                )
+        for access in event.mem:
+            if access.kind == "load":
+                out += self._components["mem_load"]
+            elif access.kind == "store":
+                out += self._components["mem_store"]
+            elif access.kind == "io":
+                out += self._components["io"]
+            elif access.kind == "flash":
+                out += self._components["flash_data"]
+            out += (
+                cfg.data_hw_scale
+                * _popcount(access.address & 0xFF)
+                * self._env_mem_addr
+            )
+            out += (
+                cfg.data_hw_scale * _popcount(access.value) * self._env_mem_data
+            )
+        if event.branch_taken is not None:
+            if semantics in _SKIP_SEMANTICS:
+                amp = 1.0 if event.branch_taken else 0.55
+                out += amp * self._components["skip"]
+            else:
+                amp = 1.0 if event.branch_taken else 0.45
+                out += amp * self._components["branch"]
+        if semantics in _BIT_SEMANTICS:
+            out += self._components["bit_unit"]
+        toggled = event.sreg_toggled
+        if toggled:
+            bits = (toggled >> np.arange(8)) & 1
+            out += bits @ self._sreg_bank
+        if len(event.opcode_words) > 1:
+            # Second word of a 32-bit instruction is fetched while executing.
+            out += (
+                cfg.flash_hw_scale
+                * _popcount(event.opcode_words[1])
+                * self._env_word2
+            )
+        # Control-path residues keyed on the *textual* class and its
+        # Table 2 group, not the canonical encoding.  Physically,
+        # ``TST r5`` and ``AND r5, r5`` share one opcode, but the paper's
+        # near-perfect separation of groups containing aliases implies its
+        # templates treat every profiled class as having a distinct
+        # signature; we model that explicitly (see DESIGN.md §2).
+        out += self._class_bias(event.instruction.spec.key)
+        group = event.instruction.spec.group
+        if group is not None:
+            out += self._group_bias(group)
+        return out
+
+    # -- public API ------------------------------------------------------------
+    def render_events(self, events: Sequence[ExecEvent]) -> np.ndarray:
+        """Render an executed instruction stream to an analog power trace.
+
+        The returned trace has one clock cycle per instruction slot plus a
+        leading and trailing pad cycle, so that
+        ``trace[i * spc : i * spc + window]`` is the profiling window of
+        instruction ``i`` (fetch/decode cycle + execute cycle).
+        """
+        spc = self._spc
+        n = len(events)
+        trace = np.zeros((n + 2) * spc)
+        # Pad cycles carry clock feedthrough only.
+        trace[0:spc] += self._clock
+        trace[(n + 1) * spc:] += self._clock
+        for i, event in enumerate(events):
+            cycle = self._clock.copy()
+            cycle += self._execute_activity(event)
+            if i + 1 < n:
+                cycle += self._fetch_activity(
+                    events[i + 1].opcode_words, event.opcode_words
+                )
+            start = (i + 1) * spc
+            trace[start:start + spc] += cycle
+        # First pad cycle also fetches instruction 0.
+        if n:
+            trace[0:spc] += self._fetch_activity(events[0].opcode_words, ())
+        return self.device.gain * trace + self.device.offset
+
+    def window(self, trace: np.ndarray, index: int) -> np.ndarray:
+        """Profiling window of instruction ``index`` within a rendered trace."""
+        start = index * self._spc
+        return trace[start:start + self.geometry.window_samples]
+
+    def slot_starts(self, n_events: int) -> List[int]:
+        """Sample index where each instruction's window begins."""
+        return [i * self._spc for i in range(n_events)]

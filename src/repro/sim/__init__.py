@@ -1,0 +1,20 @@
+"""Functional ATmega328P-class core simulator."""
+
+from .cpu import AvrCpu, ProgramEnd, canonicalize
+from .events import ExecEvent, MemAccess, RegRead, RegWrite
+from .pipeline import PipelineSlot, pipeline_slots
+from .state import CpuState, SREG_BITS
+
+__all__ = [
+    "AvrCpu",
+    "CpuState",
+    "ExecEvent",
+    "MemAccess",
+    "PipelineSlot",
+    "ProgramEnd",
+    "RegRead",
+    "RegWrite",
+    "SREG_BITS",
+    "canonicalize",
+    "pipeline_slots",
+]

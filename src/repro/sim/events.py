@@ -1,0 +1,91 @@
+"""Microarchitectural event records emitted by the simulated AVR core.
+
+The power substrate consumes these events: every term of the synthetic
+power model (bus Hamming weights/distances, register-file address decode,
+ALU, memory, SREG and branch activity) is computed from an
+:class:`ExecEvent`, so the power trace depends on *what the core actually
+did* — operand values, old register contents, taken branches — exactly as
+the physical side channel does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..isa.assembler import Instruction
+
+__all__ = ["ExecEvent", "MemAccess", "RegRead", "RegWrite"]
+
+
+@dataclass(frozen=True)
+class RegRead:
+    """One register-file read port activation."""
+
+    reg: int
+    value: int
+
+
+@dataclass(frozen=True)
+class RegWrite:
+    """One register-file write; ``old`` enables Hamming-distance terms."""
+
+    reg: int
+    old: int
+    new: int
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """A data-space / program-space access performed in the execute stage."""
+
+    kind: str  #: ``"load"``, ``"store"``, ``"flash"`` or ``"io"``
+    address: int
+    value: int
+
+
+@dataclass(frozen=True)
+class ExecEvent:
+    """Everything the power model needs about one executed instruction.
+
+    Attributes:
+        instruction: the architectural instruction executed.
+        pc: word address it was fetched from.
+        opcode_words: its encoding (drives instruction-bus Hamming weight).
+        cycles: cycles actually consumed (includes taken-branch extras).
+        reads: register-file read port activity.
+        writes: register-file write port activity.
+        alu_operands: values fed to the ALU, if it was used.
+        alu_result: ALU output value.
+        mem: data-space / flash accesses.
+        sreg_before: SREG packed byte prior to execution.
+        sreg_after: SREG packed byte after execution.
+        branch_taken: ``True``/``False`` for branches & skips, else ``None``.
+        skipped: True when this instruction was skipped by a preceding
+            skip instruction (it still passes through the pipeline and
+            consumes a cycle, but performs no architectural work).
+    """
+
+    instruction: Instruction
+    pc: int
+    opcode_words: Tuple[int, ...]
+    cycles: int
+    reads: Tuple[RegRead, ...] = ()
+    writes: Tuple[RegWrite, ...] = ()
+    alu_operands: Tuple[int, ...] = ()
+    alu_result: Optional[int] = None
+    mem: Tuple[MemAccess, ...] = ()
+    sreg_before: int = 0
+    sreg_after: int = 0
+    branch_taken: Optional[bool] = None
+    skipped: bool = False
+
+    @property
+    def key(self) -> str:
+        """Instruction class key."""
+        return self.instruction.spec.key
+
+    @property
+    def sreg_toggled(self) -> int:
+        """Bitmask of SREG flags that changed."""
+        return self.sreg_before ^ self.sreg_after

@@ -1,0 +1,51 @@
+"""2-stage pipeline view of an executed instruction stream.
+
+The AVR overlaps the *execute* stage of instruction *i* with the *fetch* of
+instruction *i+1*.  The paper's §5.1 measures exactly this window — "a
+target profiled instruction is affected by a previous instruction and a
+following instruction" — so the power model consumes :class:`PipelineSlot`
+records pairing each execute event with the concurrently fetched opcode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .events import ExecEvent
+
+__all__ = ["PipelineSlot", "pipeline_slots"]
+
+
+@dataclass(frozen=True)
+class PipelineSlot:
+    """One execute-stage time slot of the pipeline.
+
+    Attributes:
+        execute: the instruction in the execute stage.
+        fetch_words: opcode words fetched concurrently (the next
+            instruction), empty at the end of a program.
+        prev_words: opcode words of the previous instruction (its bus
+            residue biases the first samples of this slot).
+    """
+
+    execute: ExecEvent
+    fetch_words: Tuple[int, ...] = ()
+    prev_words: Tuple[int, ...] = ()
+
+
+def pipeline_slots(events: Sequence[ExecEvent]) -> List[PipelineSlot]:
+    """Pair each execute event with its concurrent fetch.
+
+    Args:
+        events: instruction stream from :meth:`repro.sim.cpu.AvrCpu.run`.
+
+    Returns:
+        One :class:`PipelineSlot` per event, in order.
+    """
+    slots: List[PipelineSlot] = []
+    for index, event in enumerate(events):
+        fetch = events[index + 1].opcode_words if index + 1 < len(events) else ()
+        prev = events[index - 1].opcode_words if index > 0 else ()
+        slots.append(PipelineSlot(execute=event, fetch_words=fetch, prev_words=prev))
+    return slots

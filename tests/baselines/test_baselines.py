@@ -1,0 +1,71 @@
+"""Baseline disassembler tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EisenbarthDisassembler,
+    FlatDisassembler,
+    MsgnaDisassembler,
+)
+from repro.features import FeatureConfig
+from repro.power import Acquisition
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    acq = Acquisition(seed=31)
+    full = acq.capture_instruction_set(["ADD", "LDS", "SEC"], 80, 4)
+    rng = np.random.default_rng(0)
+    return full.split_random(0.75, rng)
+
+
+class TestMsgna:
+    def test_fit_score(self, dataset):
+        train, test = dataset
+        baseline = MsgnaDisassembler(n_components=20).fit(train)
+        assert baseline.score(test) > 0.7
+
+    def test_predictions_in_range(self, dataset):
+        train, test = dataset
+        baseline = MsgnaDisassembler(n_components=10).fit(train)
+        assert set(baseline.predict(test.traces)) <= {0, 1, 2}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MsgnaDisassembler().predict(np.zeros((2, 315)))
+
+
+class TestEisenbarth:
+    def test_sequence_decoding(self, dataset):
+        train, test = dataset
+        baseline = EisenbarthDisassembler(n_components=15).fit(train)
+        assert baseline.score_sequence(test) > 0.6
+
+    def test_transition_prior_used(self, dataset):
+        train, test = dataset
+        # deterministic cyclic dynamics 0 -> 1 -> 2 -> 0
+        sequences = [[0, 1, 2] * 30]
+        baseline = EisenbarthDisassembler(n_components=15).fit(
+            train, training_sequences=sequences
+        )
+        T = baseline.hmm.transitions_
+        assert T[0, 1] > 0.8 and T[1, 2] > 0.8 and T[2, 0] > 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            EisenbarthDisassembler().predict_sequence(np.zeros((2, 315)))
+
+
+class TestFlat:
+    def test_fit_score_and_machine_count(self, dataset):
+        train, test = dataset
+        baseline = FlatDisassembler(
+            FeatureConfig(kl_threshold="auto:0.9", n_components=10)
+        ).fit(train)
+        assert baseline.score(test) > 0.8
+        assert baseline.n_binary_classifiers == 3
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            FlatDisassembler().predict(np.zeros((2, 315)))

@@ -1,0 +1,50 @@
+"""Disassembler template persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import SideChannelDisassembler
+from repro.features import FeatureConfig
+from repro.ml import QDA
+from repro.power import Acquisition
+
+FAST = FeatureConfig(kl_threshold="auto:0.9", top_k=5, n_components=8)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    acq = Acquisition(seed=81)
+    dis = SideChannelDisassembler(FAST, classifier_factory=QDA)
+    train = acq.capture_instruction_set(["ADD", "EOR", "LDS"], 40, 2)
+    dis.fit_instruction_level(1, train)
+    return dis, train
+
+
+class TestPersistence:
+    def test_round_trip_predictions_identical(self, fitted, tmp_path):
+        dis, train = fitted
+        path = tmp_path / "templates.pkl"
+        dis.save(path)
+        loaded = SideChannelDisassembler.load(path)
+        original = dis.instruction_models[1].predict(train.traces[:20])
+        restored = loaded.instruction_models[1].predict(train.traces[:20])
+        np.testing.assert_array_equal(original, restored)
+
+    def test_config_preserved(self, fitted, tmp_path):
+        dis, _ = fitted
+        path = tmp_path / "templates.pkl"
+        dis.save(path)
+        loaded = SideChannelDisassembler.load(path)
+        assert loaded.feature_config == dis.feature_config
+
+    def test_version_mismatch_rejected(self, fitted, tmp_path):
+        import pickle
+
+        dis, _ = fitted
+        path = tmp_path / "templates.pkl"
+        dis.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = "0.0.0"
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ValueError, match="re-train"):
+            SideChannelDisassembler.load(path)

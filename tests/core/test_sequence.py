@@ -1,0 +1,109 @@
+"""Sequence-aware disassembly tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import SequenceDisassembler, SideChannelDisassembler
+from repro.features import FeatureConfig
+from repro.ml import QDA
+from repro.power import Acquisition
+
+FAST = FeatureConfig(kl_threshold="auto:0.9", top_k=5, n_components=10)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    acq = Acquisition(seed=61)
+    from repro.power.acquisition import random_instance
+    from repro.power.dataset import TraceSet
+
+    parts = []
+    for code, (name, pool) in enumerate(
+        (("G1", ["ADD", "EOR"]), ("G2", ["LDI", "ANDI"]))
+    ):
+        def sampler(rng, addr, _pool=pool):
+            return random_instance(str(rng.choice(_pool)), rng, word_address=addr)
+
+        w, p = acq.capture_class(
+            pool[0], 60, 3, label_override=name, target_sampler=sampler
+        )
+        parts.append((w, code, p))
+    group_set = TraceSet(
+        traces=np.concatenate([w for w, _, _ in parts]),
+        labels=np.concatenate([np.full(len(w), c) for w, c, _ in parts]),
+        label_names=("G1", "G2"),
+        program_ids=np.concatenate([p for _, _, p in parts]),
+    )
+    dis = SideChannelDisassembler(FAST, classifier_factory=QDA)
+    dis.fit_group_level(group_set)
+    dis.fit_instruction_level(1, acq.capture_instruction_set(["ADD", "EOR"], 60, 3))
+    dis.fit_instruction_level(2, acq.capture_instruction_set(["LDI", "ANDI"], 60, 3))
+    return acq, dis
+
+
+SOURCE = """
+    ldi r16, 0x10
+    add r16, r17
+    eor r17, r16
+    andi r16, 0x0F
+"""
+
+
+class TestSequenceDisassembler:
+    def test_class_space_is_union_of_levels(self, fitted):
+        acq, dis = fitted
+        seq = SequenceDisassembler(dis)
+        assert set(seq.classes) == {"ADD", "EOR", "LDI", "ANDI"}
+
+    def test_posterior_shape_and_normalization(self, fitted):
+        acq, dis = fitted
+        seq = SequenceDisassembler(dis)
+        bench = Acquisition(seed=61, program_shift=False)
+        capture = bench.capture_program(SOURCE)
+        log_post = seq.class_log_posteriors(capture.windows)
+        assert log_post.shape == (4, 4)
+        assert np.all(np.isfinite(log_post))
+        # posteriors over the flat space are at most one (log <= 0-ish)
+        assert log_post.max() < 1e-6
+
+    def test_prior_from_assembly(self, fitted):
+        acq, dis = fitted
+        seq = SequenceDisassembler(dis).fit_prior_from_assembly(
+            [SOURCE + SOURCE]
+        )
+        T = seq.hmm.transitions_
+        ldi = seq.classes.index("LDI")
+        add = seq.classes.index("ADD")
+        assert T[ldi, add] > T[add, ldi]
+
+    def test_decode_matches_truth_on_easy_stream(self, fitted):
+        acq, dis = fitted
+        seq = SequenceDisassembler(dis).fit_prior_from_assembly([SOURCE * 3])
+        bench = Acquisition(seed=61, program_shift=False)
+        capture = bench.capture_program(SOURCE * 5)
+        decoded = seq.decode(capture.windows)
+        truth = ["LDI", "ADD", "EOR", "ANDI"] * 5
+        accuracy = np.mean([d == t for d, t in zip(decoded, truth)])
+        assert accuracy > 0.85
+
+    def test_sequence_not_worse_than_independent(self, fitted):
+        acq, dis = fitted
+        seq = SequenceDisassembler(dis).fit_prior_from_assembly([SOURCE * 3])
+        bench = Acquisition(seed=61, program_shift=False)
+        capture = bench.capture_program(SOURCE * 5)
+        truth = ["LDI", "ADD", "EOR", "ANDI"] * 5
+        independent = seq.decode_independent(capture.windows)
+        decoded = seq.decode(capture.windows)
+        acc_i = np.mean([d == t for d, t in zip(independent, truth)])
+        acc_s = np.mean([d == t for d, t in zip(decoded, truth)])
+        assert acc_s >= acc_i - 0.05
+
+    def test_unfitted_prior_raises(self, fitted):
+        acq, dis = fitted
+        seq = SequenceDisassembler(dis)
+        with pytest.raises(RuntimeError):
+            seq.decode(np.zeros((2, 315)))
+
+    def test_requires_fitted_hierarchy(self):
+        with pytest.raises(ValueError):
+            SequenceDisassembler(SideChannelDisassembler(FAST))

@@ -1,0 +1,82 @@
+"""Preprocessing tests: alignment, DC removal, standardization."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    align_traces,
+    remove_dc,
+    standardize_features,
+    standardize_traces,
+)
+from repro.dsp.normalize import TemplateNormalizer
+
+
+class TestAlign:
+    def test_recovers_known_shifts(self):
+        rng = np.random.default_rng(0)
+        template = np.sin(np.linspace(0, 20, 200)) * np.hanning(200)
+        shifts = [-3, 0, 2, 4]
+        traces = np.stack([np.roll(template, s) for s in shifts])
+        aligned, found = align_traces(traces, reference=template, max_shift=5)
+        assert list(found) == shifts
+        for row in aligned:
+            assert np.corrcoef(row[10:-10], template[10:-10])[0, 1] > 0.99
+
+    def test_zero_shift_identity(self):
+        traces = np.tile(np.sin(np.linspace(0, 10, 100)), (3, 1))
+        aligned, shifts = align_traces(traces, max_shift=3)
+        assert np.all(shifts == 0)
+        np.testing.assert_allclose(aligned, traces)
+
+
+class TestStandardize:
+    def test_remove_dc(self):
+        traces = np.array([[1.0, 2.0, 3.0], [10.0, 10.0, 10.0]])
+        out = remove_dc(traces)
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-12)
+
+    def test_standardize_traces(self):
+        rng = np.random.default_rng(1)
+        traces = rng.normal(5, 3, (4, 200))
+        out = standardize_traces(traces)
+        np.testing.assert_allclose(out.mean(axis=1), 0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=1), 1, atol=1e-10)
+
+    def test_standardize_constant_trace_safe(self):
+        out = standardize_traces(np.ones((2, 10)))
+        assert np.all(np.isfinite(out))
+
+    def test_standardize_features_round_trip(self):
+        rng = np.random.default_rng(2)
+        train = rng.normal(3, 2, (50, 4))
+        test = rng.normal(3, 2, (20, 4))
+        train_std, mean, std = standardize_features(train)
+        np.testing.assert_allclose(train_std.mean(axis=0), 0, atol=1e-10)
+        test_std, _, _ = standardize_features(test, mean, std)
+        assert test_std.shape == test.shape
+
+
+class TestTemplateNormalizer:
+    def test_removes_gain_and_offset(self):
+        rng = np.random.default_rng(3)
+        template = rng.normal(0, 1, 300)
+        norm = TemplateNormalizer(template)
+        distorted = 1.7 * template - 2.5
+        recovered = norm.transform(distorted)[0]
+        np.testing.assert_allclose(recovered, template, atol=1e-8)
+
+    def test_fit_transform(self):
+        rng = np.random.default_rng(4)
+        traces = rng.normal(0, 1, (10, 100)) + np.sin(np.linspace(0, 9, 100))
+        out = TemplateNormalizer().fit_transform(traces)
+        assert out.shape == traces.shape
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TemplateNormalizer().transform(np.zeros((1, 10)))
+
+    def test_constant_template_rejected(self):
+        norm = TemplateNormalizer(np.ones(10))
+        with pytest.raises(ValueError):
+            norm.transform(np.zeros((1, 10)))

@@ -1,0 +1,29 @@
+"""CLI (python -m repro.experiments) tests."""
+
+import pytest
+
+from repro.experiments.__main__ import RUNNERS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in RUNNERS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nonexistent"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "completed in" in out
+
+    def test_runner_registry_complete(self):
+        # every runner entry is callable with a scale (except table2)
+        for name, (runner, description) in RUNNERS.items():
+            assert callable(runner)
+            assert description

@@ -1,0 +1,50 @@
+"""Cross-artefact consistency: CLI registry vs benchmarks vs DESIGN.md."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import RUNNERS
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestArtefactConsistency:
+    def test_every_paper_artefact_has_a_bench(self):
+        bench_names = {
+            p.stem for p in (REPO / "benchmarks").glob("bench_*.py")
+        }
+        # Every table/figure runner must have a regenerating bench.
+        for experiment in (
+            "table1", "table2", "table3", "table4",
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "endtoend", "malware",
+        ):
+            assert f"bench_{experiment}" in bench_names, experiment
+
+    def test_design_md_references_benches_that_exist(self):
+        text = (REPO / "DESIGN.md").read_text()
+        for token in text.split():
+            if token.startswith("`benchmarks/bench_") and token.endswith(".py`"):
+                path = REPO / token.strip("`|")
+                assert path.exists(), token
+
+    def test_readme_examples_exist(self):
+        text = (REPO / "README.md").read_text()
+        for line in text.splitlines():
+            if "`examples/" in line:
+                name = line.split("`examples/")[1].split("`")[0]
+                assert (REPO / "examples" / name).exists(), name
+
+    def test_cli_descriptions_unique(self):
+        descriptions = [d for _, d in RUNNERS.values()]
+        assert len(set(descriptions)) == len(descriptions)
+
+    def test_experiments_md_mentions_every_table_and_figure(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for artefact in (
+            "Table 1", "Table 2", "Table 3", "Table 4",
+            "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6",
+            "§5.7", "§5.4", "§5.2",
+        ):
+            assert artefact in text, artefact

@@ -1,0 +1,50 @@
+"""ASCII rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plots import ascii_heatmap, ascii_scatter
+
+
+class TestHeatmap:
+    def test_shape_and_frame(self):
+        field = np.zeros((50, 315))
+        field[25, 150] = 10.0
+        art = ascii_heatmap(field, width=60, height=12, title="T")
+        lines = art.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "+" + "-" * 60 + "+"
+        assert len(lines) == 1 + 12 + 2 + 1
+
+    def test_peak_is_darkest(self):
+        field = np.zeros((20, 40))
+        field[10, 20] = 100.0
+        art = ascii_heatmap(field, width=40, height=20, log=False)
+        assert "@" in art
+
+    def test_marks_drawn(self):
+        field = np.random.default_rng(0).random((20, 40))
+        art = ascii_heatmap(field, width=40, height=20, marks=[(5, 10)])
+        assert "X" in art
+
+    def test_small_field(self):
+        art = ascii_heatmap(np.ones((3, 4)), width=100, height=50)
+        assert "+" in art  # does not exceed the field's own size
+
+
+class TestScatter:
+    def test_groups_get_distinct_glyphs(self):
+        rng = np.random.default_rng(1)
+        art = ascii_scatter(
+            {
+                "a": rng.normal((0, 0), 0.5, (20, 2)),
+                "b": rng.normal((5, 5), 0.5, (20, 2)),
+            }
+        )
+        assert "o" in art and "x" in art
+        assert "o = a" in art and "x = b" in art
+
+    def test_constant_axis_safe(self):
+        points = np.column_stack([np.arange(5), np.zeros(5)])
+        art = ascii_scatter({"flat": points})
+        assert "o" in art

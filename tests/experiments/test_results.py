@@ -1,0 +1,43 @@
+"""ResultTable rendering tests."""
+
+import pytest
+
+from repro.experiments import ResultTable
+
+
+class TestResultTable:
+    def test_add_and_column(self):
+        table = ResultTable(title="T", columns=["name", "sr"])
+        table.add_row(name="a", sr=1.25)
+        table.add_row(name="b", sr=2.0)
+        assert table.column("sr") == [1.25, 2.0]
+
+    def test_unknown_column_rejected(self):
+        table = ResultTable(title="T", columns=["name"])
+        with pytest.raises(KeyError):
+            table.add_row(name="a", extra=1)
+
+    def test_render_contains_everything(self):
+        table = ResultTable(
+            title="Table X",
+            columns=["who", "sr"],
+            paper_reference={"who": "99 %"},
+            notes="tiny scale",
+        )
+        table.add_row(who="ours", sr=98.765)
+        text = table.render()
+        assert "Table X" in text
+        assert "ours" in text
+        assert "98.77" in text  # floats rendered with 2 decimals
+        assert "paper reports" in text
+        assert "tiny scale" in text
+
+    def test_render_empty_table(self):
+        table = ResultTable(title="Empty", columns=["a", "b"])
+        text = table.render()
+        assert "Empty" in text and "a" in text
+
+    def test_missing_cells_render_blank(self):
+        table = ResultTable(title="T", columns=["a", "b"])
+        table.add_row(a="x")
+        assert "x" in table.render()

@@ -1,0 +1,159 @@
+"""Smoke tests of the experiment runners (tiny scale, shape checks only)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    BENCH,
+    PAPER,
+    SMOKE,
+    Scale,
+    ablations,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    get_scale,
+    malware,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+TINY = SMOKE.with_overrides(
+    n_train_per_class=50,
+    n_test_per_class=16,
+    n_programs=3,
+    csa_train_per_class=120,
+    csa_programs=4,
+    registers=(2, 20),
+    pc_sweep=(4,),
+    var_sweep=(3,),
+    classes_per_group_cap=2,
+    n_devices=1,
+)
+
+
+class TestScales:
+    def test_presets_resolve(self):
+        assert get_scale("smoke") is SMOKE
+        assert get_scale("bench") is BENCH
+        assert get_scale("paper") is PAPER
+        assert get_scale(TINY) is TINY
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_components_budget(self):
+        assert TINY.components(43) <= TINY.n_train_per_class // 3
+        assert PAPER.components(43) == 43
+
+
+class TestStaticRunners:
+    def test_table2(self):
+        table = table2.run()
+        assert len(table.rows) == 8
+        assert sum(r["# insts"] for r in table.rows) == 112
+        assert "Table 2" in table.render()
+
+    def test_fig4(self):
+        table, window = fig4.run(TINY)
+        assert len(table.rows) == 7
+        assert len(window) == 315
+        assert "add r16, r17" in table.rows[3]["execute stage"]
+
+
+class TestStatisticalRunners:
+    def test_fig2(self):
+        table, fields = fig2.run(TINY)
+        assert fields.between.shape == (50, 315)
+        assert len(fields.selected) == 5
+        assert fields.peaks.sum() > 0
+
+    def test_fig3_contrast(self):
+        table, data = fig3.run(TINY)
+        worst = table.rows[0]["separation score"]
+        best = table.rows[1]["separation score"]
+        assert worst > best  # shifted features scatter programs apart
+
+    def test_fig5_shapes(self):
+        out = fig5.run(TINY, classifier_names=["QDA"])
+        assert set(out) == {"groups", "group1"}
+        groups = out["groups"]
+        assert groups.rows[0]["classifier"] == "QDA"
+        assert 0 <= groups.rows[0]["PC=4"] <= 100
+
+    def test_fig6_shapes(self):
+        out = fig6.run(TINY, classifier_names=["QDA"])
+        voting = out["voting"].rows[0]["vars=3"]
+        general = out["general"].rows[0]["vars=3"]
+        assert 0 <= voting <= 100 and 0 <= general <= 100
+
+    def test_table3_shape(self):
+        # Ordering (noCSA collapse < CSA rescue) is a bench-scale property;
+        # at tiny scale we only verify the table's structure and ranges.
+        table = table3.run(TINY)
+        assert len(table.rows) == 2
+        for row in table.rows:
+            for column in ("without CSA", "CSA w/o norm", "CSA with norm"):
+                assert 0.0 <= row[column] <= 100.0
+
+    def test_table4_row_count(self):
+        table = table4.run(TINY)
+        assert len(table.rows) == 2
+        assert "Dev. 1" in table.columns
+
+    def test_table1_has_measured_and_quoted(self):
+        table = table1.run(TINY)
+        rates = " ".join(str(r["recognition rate"]) for r in table.rows)
+        assert "reported" in rates and "measured" in rates
+
+    def test_malware_detects(self):
+        table = malware.run(TINY)
+        assert table.rows[0]["verdict"] in ("CLEAN", "FALSE ALARM")
+        assert table.rows[1]["verdict"] in ("DETECTED", "MISSED")
+
+    def test_fig1_dimensions(self):
+        from repro.experiments import fig1
+
+        table = fig1.run(TINY)
+        dims = table.column("dimension")
+        assert dims[1].endswith("15750")
+        assert 0 < int(dims[2]) < 15750
+
+    def test_svm_grid(self):
+        from repro.experiments import svm_grid
+
+        table = svm_grid.run(TINY)
+        assert any(row["selected"] == "<==" for row in table.rows)
+        assert table.rows[-1]["selected"] == "held-out SR"
+
+    def test_sampling_rate(self):
+        from repro.experiments import sampling_rate
+
+        table = sampling_rate.run(TINY)
+        assert table.column("rate (GS/s)")[0] == 2.5
+        assert table.column("samples/window")[-1] < 40
+
+    def test_multisession(self):
+        from repro.experiments import multisession
+
+        table = multisession.run(TINY)
+        assert len(table.rows) == 3
+        for row in table.rows:
+            assert 0.0 <= row["SR (%)"] <= 100.0
+
+    def test_cwt_ablation(self):
+        table = ablations.run_cwt_ablation(TINY)
+        assert len(table.rows) == 2
+
+    def test_hierarchy_ablation_machine_count(self):
+        table = ablations.run_hierarchy_ablation(TINY)
+        flat_row, hier_row = table.rows
+        assert (
+            hier_row["1v1 machines (SVM equivalent)"]
+            < flat_row["1v1 machines (SVM equivalent)"]
+        )

@@ -1,0 +1,54 @@
+"""Workload-construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scales import SMOKE
+from repro.experiments.workloads import (
+    MASKED_AES_SNIPPET,
+    TAMPERED_AES_SNIPPET,
+    capture_group_set,
+    group_classes,
+    group_pool,
+)
+from repro.isa import assemble
+from repro.isa.groups import CROSS_GROUP_DUPLICATES
+from repro.power import Acquisition
+
+
+class TestPools:
+    def test_group_pool_excludes_duplicates(self):
+        for group in range(1, 9):
+            assert CROSS_GROUP_DUPLICATES.isdisjoint(group_pool(group))
+
+    def test_group_classes_cap(self):
+        capped = group_classes(5, SMOKE)  # smoke caps at 4
+        assert len(capped) == SMOKE.classes_per_group_cap
+        uncapped = group_classes(5, SMOKE.with_overrides(classes_per_group_cap=None))
+        assert len(uncapped) == 24
+
+
+class TestGroupCapture:
+    def test_labels_and_balance(self):
+        acq = Acquisition(seed=5)
+        trace_set = capture_group_set(acq, 12, 2)
+        assert trace_set.label_names == tuple(f"G{g}" for g in range(1, 9))
+        assert np.bincount(trace_set.labels).tolist() == [12] * 8
+
+
+class TestAesSnippets:
+    def test_golden_assembles(self):
+        instructions = assemble(MASKED_AES_SNIPPET)
+        keys = [i.spec.key for i in instructions]
+        assert keys == ["LDI", "LDI", "EOR", "MOV", "SWAP", "AND", "EOR"]
+
+    def test_tampering_is_one_register(self):
+        golden = assemble(MASKED_AES_SNIPPET)
+        tampered = assemble(TAMPERED_AES_SNIPPET)
+        assert len(golden) == len(tampered)
+        diffs = [
+            (g.values, t.values)
+            for g, t in zip(golden, tampered)
+            if g.values != t.values
+        ]
+        assert diffs == [((16, 17), (16, 0))]

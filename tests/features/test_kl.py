@@ -1,0 +1,101 @@
+"""KL divergence field tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.features import (
+    WaveletStats,
+    between_class_kl,
+    gaussian_kl,
+    symmetric_gaussian_kl,
+    within_class_kl,
+)
+
+
+class TestGaussianKL:
+    def test_identical_distributions_zero(self):
+        assert gaussian_kl(0.0, 1.0, 0.0, 1.0) == pytest.approx(0.0)
+
+    def test_known_value_mean_shift(self):
+        # KL(N(1,1) || N(0,1)) = 0.5
+        assert gaussian_kl(1.0, 1.0, 0.0, 1.0) == pytest.approx(0.5)
+
+    def test_known_value_variance_ratio(self):
+        # KL(N(0,1) || N(0,4)) = 0.5*(ln4 + 1/4 - 1)
+        expected = 0.5 * (np.log(4) + 0.25 - 1)
+        assert gaussian_kl(0.0, 1.0, 0.0, 4.0) == pytest.approx(expected)
+
+    def test_asymmetry(self):
+        assert gaussian_kl(0, 1, 0, 4) != pytest.approx(gaussian_kl(0, 4, 0, 1))
+
+    def test_symmetric_version(self):
+        a = symmetric_gaussian_kl(0.0, 1.0, 2.0, 3.0)
+        b = symmetric_gaussian_kl(2.0, 3.0, 0.0, 1.0)
+        assert a == pytest.approx(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(-5, 5), st.floats(0.01, 10),
+        st.floats(-5, 5), st.floats(0.01, 10),
+    )
+    def test_property_nonnegative(self, m1, v1, m2, v2):
+        assert gaussian_kl(m1, v1, m2, v2) >= -1e-9
+
+    def test_vectorized_shapes(self):
+        m = np.zeros((5, 7))
+        out = gaussian_kl(m, np.ones_like(m), m + 1, np.ones_like(m))
+        assert out.shape == (5, 7)
+        np.testing.assert_allclose(out, 0.5)
+
+    def test_variance_floor(self):
+        # zero variances must not produce NaN/inf explosions beyond floor
+        out = gaussian_kl(0.0, 0.0, 1.0, 0.0)
+        assert np.isfinite(out)
+
+
+class TestWaveletStats:
+    def test_from_images(self):
+        rng = np.random.default_rng(0)
+        images = rng.normal(2.0, 1.0, (60, 4, 10)).astype(np.float32)
+        pids = np.repeat([0, 1, 2], 20)
+        stats = WaveletStats.from_images(images, pids)
+        assert stats.n == 60
+        assert stats.n_programs == 3
+        assert stats.mean.shape == (4, 10)
+        np.testing.assert_allclose(stats.mean, 2.0, atol=0.5)
+
+    def test_between_class_field(self):
+        rng = np.random.default_rng(1)
+        a = WaveletStats.from_images(rng.normal(0, 1, (200, 2, 5)))
+        b_images = rng.normal(0, 1, (200, 2, 5))
+        b_images[:, 1, 3] += 4.0  # one strongly different point
+        b = WaveletStats.from_images(b_images)
+        field = between_class_kl(a, b)
+        assert np.unravel_index(field.argmax(), field.shape) == (1, 3)
+        assert field[1, 3] > 10 * np.median(field)
+
+    def test_within_class_field_flags_program_drift(self):
+        rng = np.random.default_rng(2)
+        images = rng.normal(0, 1, (300, 2, 5))
+        pids = np.repeat([0, 1, 2], 100)
+        images[pids == 2, 0, 1] += 3.0  # program 2 drifts at one point
+        stats = WaveletStats.from_images(images, pids)
+        field = within_class_kl(stats)
+        assert np.unravel_index(field.argmax(), field.shape) == (0, 1)
+
+    def test_within_single_program_zero(self):
+        rng = np.random.default_rng(3)
+        stats = WaveletStats.from_images(rng.normal(0, 1, (50, 2, 3)))
+        np.testing.assert_allclose(within_class_kl(stats), 0.0)
+
+    def test_within_is_max_over_pairs(self):
+        rng = np.random.default_rng(4)
+        images = rng.normal(0, 1, (300, 1, 2))
+        pids = np.repeat([0, 1, 2], 100)
+        images[pids == 1, 0, 0] += 2.0
+        stats = WaveletStats.from_images(images, pids)
+        field = within_class_kl(stats)
+        # pairwise (0,1) and (1,2) differ; max captures the drift
+        assert field[0, 0] > 1.0
+        assert field[0, 1] < 0.5

@@ -1,0 +1,84 @@
+"""PCA tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.features import PCA
+
+
+class TestPCA:
+    def test_first_component_is_max_variance_direction(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(0, 3, 500)
+        X = np.column_stack([t, 0.1 * rng.normal(0, 1, 500)])
+        angle = np.deg2rad(30)
+        R = np.array([[np.cos(angle), -np.sin(angle)],
+                      [np.sin(angle), np.cos(angle)]])
+        X = X @ R.T
+        pca = PCA(n_components=1).fit(X)
+        direction = pca.components_[0]
+        expected = R @ np.array([1.0, 0.0])
+        assert abs(abs(direction @ expected) - 1.0) < 0.01
+
+    def test_explained_variance_sorted_and_ratios(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 1, (200, 5)) * np.array([5, 3, 1, 0.5, 0.1])
+        pca = PCA().fit(X)
+        ev = pca.explained_variance_
+        assert np.all(np.diff(ev) <= 1e-9)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_transform_decorrelates(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(0, 1, (300, 2))
+        X = np.column_stack([base[:, 0], base[:, 0] + 0.3 * base[:, 1]])
+        projected = PCA().fit_transform(X)
+        cov = np.cov(projected.T)
+        assert abs(cov[0, 1]) < 1e-8
+
+    def test_whiten_unit_variance(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(0, 1, (400, 3)) * np.array([10, 2, 0.5])
+        projected = PCA(whiten=True).fit_transform(X)
+        np.testing.assert_allclose(projected.var(axis=0), 1.0, atol=0.05)
+
+    def test_inverse_transform_round_trip(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(0, 1, (100, 4))
+        pca = PCA().fit(X)
+        recovered = pca.inverse_transform(pca.transform(X))
+        np.testing.assert_allclose(recovered, X, atol=1e-8)
+
+    def test_truncated_reconstruction_error_bounded(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(0, 1, (200, 6)) * np.array([8, 4, 2, 0.1, 0.05, 0.01])
+        pca = PCA(n_components=3).fit(X)
+        recon = pca.inverse_transform(pca.transform(X))
+        residual = np.linalg.norm(X - recon) / np.linalg.norm(X)
+        assert residual < 0.05
+
+    def test_components_capped_by_rank(self):
+        X = np.random.default_rng(6).normal(0, 1, (5, 10))
+        pca = PCA(n_components=50).fit(X)
+        assert pca.n_components_ <= 5
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA().transform(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            _ = PCA().n_components_
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros(10))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_variance_preserved_full_rank(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(0, 1, (40, 4))
+        projected = PCA().fit_transform(X)
+        assert np.var(projected, axis=0).sum() == pytest.approx(
+            np.var(X, axis=0).sum(), rel=1e-6
+        )

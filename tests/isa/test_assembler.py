@@ -1,0 +1,138 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AssemblyError, assemble, assemble_line, assemble_words
+from repro.isa.assembler import Instruction
+from repro.isa.specs import REGISTRY
+
+
+class TestAssembleLine:
+    def test_simple(self):
+        instr = assemble_line("add r1, r2")
+        assert instr.key == "ADD"
+        assert instr.values == (1, 2)
+
+    def test_case_insensitive_mnemonic(self):
+        assert assemble_line("ADD R1, R2").key == "ADD"
+
+    def test_comment_stripped(self):
+        assert assemble_line("nop ; do nothing").key == "NOP"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble_line("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="no 'add' form"):
+            assemble_line("add r1")
+
+    def test_immediate_range_enforced(self):
+        with pytest.raises(AssemblyError):
+            assemble_line("ldi r16, 300")
+
+    def test_ldi_rejects_low_register(self):
+        with pytest.raises(AssemblyError):
+            assemble_line("ldi r3, 5")
+
+    def test_ld_variants_disambiguated(self):
+        assert assemble_line("ld r5, X").key == "LD_X"
+        assert assemble_line("ld r5, X+").key == "LD_X+"
+        assert assemble_line("ld r5, -X").key == "LD_-X"
+        assert assemble_line("ld r5, Y").key == "LD_Y"
+        assert assemble_line("ld r5, Z+").key == "LD_Z+"
+
+    def test_ldd_embedded_displacement(self):
+        instr = assemble_line("ldd r5, Y+10")
+        assert instr.key == "LDD_Y"
+        assert instr.values == (5, 10)
+
+    def test_std_operand_order(self):
+        instr = assemble_line("std Z+63, r4")
+        assert instr.key == "STD_Z"
+        assert instr.values == (63, 4)
+
+    def test_st_pointer_first(self):
+        instr = assemble_line("st X+, r7")
+        assert instr.key == "ST_X+"
+        assert instr.values == (7,)
+
+    def test_lpm_forms(self):
+        assert assemble_line("lpm").key == "LPM_R0"
+        assert assemble_line("lpm r3, Z").key == "LPM_Z"
+        assert assemble_line("lpm r3, Z+").key == "LPM_Z+"
+
+    def test_relative_branch_byte_offsets(self):
+        assert assemble_line("breq .+4").values == (2,)
+        assert assemble_line("brne .-6").values == (-3,)
+
+    def test_alias_forms(self):
+        assert assemble_line("tst r5").key == "TST"
+        assert assemble_line("clr r6").key == "CLR"
+        assert assemble_line("ser r17").key == "SER"
+        assert assemble_line("sec").key == "SEC"
+
+    def test_text_round_trip(self):
+        for line in ("add r1, r2", "ldd r5, Y+10", "st -Z, r9", "lpm r3, Z+"):
+            instr = assemble_line(line)
+            assert assemble_line(instr.text()).encode() == instr.encode()
+
+
+class TestInstructionValidation:
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblyError):
+            Instruction(REGISTRY["ADD"], (1,))
+
+    def test_operand_range_checked(self):
+        with pytest.raises(Exception):
+            Instruction(REGISTRY["ADD"], (1, 40))
+
+
+class TestPrograms:
+    def test_forward_and_backward_labels(self):
+        program = assemble(
+            """
+            start:
+                ldi r16, 10
+            loop:
+                dec r16
+                brne loop
+                rjmp start
+            """
+        )
+        keys = [i.key for i in program]
+        assert keys == ["LDI", "DEC", "BRNE", "RJMP"]
+        assert program[2].values == (-2,)   # brne back over dec
+        assert program[3].values == (-4,)   # rjmp back to start
+
+    def test_label_to_absolute_jmp(self):
+        program = assemble(
+            """
+                jmp target
+                nop
+            target:
+                nop
+            """
+        )
+        assert program[0].key == "JMP"
+        assert program[0].values == (3,)  # jmp is 2 words + 1 nop
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_unknown_label_is_error(self):
+        with pytest.raises(AssemblyError):
+            assemble("rjmp nowhere")
+
+    def test_assemble_words_flat(self):
+        words = assemble_words("ldi r16, 1\nlds r4, 0x100")
+        assert len(words) == 3  # 1 + 2
+
+    def test_label_on_same_line(self):
+        program = assemble("here: nop\nrjmp here")
+        assert program[1].values == (-2,)
+
+    def test_empty_lines_and_comments_ignored(self):
+        program = assemble("\n; top comment\n\nnop ; inline\n\n")
+        assert len(program) == 1

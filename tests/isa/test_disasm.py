@@ -1,0 +1,85 @@
+"""Static disassembler tests: round trips, alias preferences, errors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    DisassemblyError,
+    REGISTRY,
+    assemble_line,
+    decode_one,
+    disassemble,
+    disassemble_text,
+)
+from repro.isa.assembler import Instruction
+from repro.power.acquisition import random_instance
+import numpy as np
+
+
+class TestDecodeOne:
+    def test_simple(self):
+        instr, used = decode_one([0x1C12])
+        assert instr.key == "ADC"
+        assert instr.values == (1, 2)
+        assert used == 1
+
+    def test_two_word(self):
+        instr, used = decode_one([0x940C, 0x1234])
+        assert instr.key == "JMP"
+        assert used == 2
+
+    def test_alias_preference_tst(self):
+        instr, _ = decode_one(assemble_line("and r5, r5").encode())
+        assert instr.key == "TST"
+
+    def test_alias_preference_named_branch(self):
+        instr, _ = decode_one(assemble_line("brbs 1, .+4").encode())
+        assert instr.key == "BREQ"
+
+    def test_alias_preference_sreg(self):
+        instr, _ = decode_one(assemble_line("bset 0").encode())
+        assert instr.key == "SEC"
+
+    def test_alias_preference_disabled(self):
+        instr, _ = decode_one(
+            assemble_line("and r5, r5").encode(), prefer_aliases=False
+        )
+        assert instr.key == "AND"
+
+    def test_undecodable_word(self):
+        # 0xFF0F has bit 3 set where SBRS requires 0bbb with bit3=0... use
+        # a word that matches no pattern: 0x9509 is ICALL; craft unused
+        # encoding 0x940B (DES-adjacent, absent from our table).
+        with pytest.raises(DisassemblyError):
+            decode_one([0x940B])
+
+
+class TestDisassemble:
+    def test_stream(self):
+        words = []
+        for line in ("ldi r16, 85", "lds r4, 0x0123", "eor r16, r17"):
+            words.extend(assemble_line(line).encode())
+        out = disassemble(words)
+        assert [i.key for i in out] == ["LDI", "LDS", "EOR"]
+
+    def test_text_output(self):
+        words = assemble_line("ldi r20, 18").encode()
+        assert disassemble_text(words) == "ldi r20, 18"
+
+
+def _draw_instance(rng, key):
+    return random_instance(key, rng, word_address=0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.sampled_from(sorted(REGISTRY)))
+def test_property_encode_decode_round_trip(seed, key):
+    """Any encodable instruction decodes back to an equivalent encoding."""
+    rng = np.random.default_rng(seed)
+    instance = _draw_instance(rng, key)
+    words = list(instance.encode())
+    decoded, used = decode_one(words, prefer_aliases=False)
+    assert used == len(words)
+    # The decoded instruction must re-encode to the identical words —
+    # aliases may decode to their canonical form, but bits are preserved.
+    assert list(decoded.encode()) == words

@@ -1,0 +1,66 @@
+"""Tests for Table 2 grouping views."""
+
+import pytest
+
+from repro.isa import GROUPS, classification_classes, group_of, grouped_keys, table2_rows
+from repro.isa.groups import CROSS_GROUP_DUPLICATES, PURE_SYNONYMS
+
+
+class TestGroups:
+    def test_group_of_known(self):
+        assert group_of("ADC") == 1
+        assert group_of("LDI") == 2
+        assert group_of("SWAP") == 3
+        assert group_of("BREQ") == 4
+        assert group_of("LDS") == 5
+        assert group_of("SEC") == 6
+        assert group_of("SBI") == 7
+        assert group_of("LPM_Z") == 8
+
+    def test_group_of_residual_raises(self):
+        with pytest.raises(KeyError):
+            group_of("MUL")
+        with pytest.raises(KeyError):
+            group_of("NOP")
+
+    def test_grouped_keys_count(self):
+        assert len(grouped_keys()) == 112
+
+    def test_grouped_keys_no_duplicates(self):
+        keys = grouped_keys()
+        assert len(set(keys)) == len(keys)
+
+
+class TestClassificationClasses:
+    def test_synonyms_excluded_by_default(self):
+        g2 = classification_classes(2)
+        assert "SBR" not in g2 and "CBR" not in g2
+        assert "ORI" in g2 and "ANDI" in g2
+
+    def test_synonyms_included_on_request(self):
+        assert "SBR" in classification_classes(2, include_synonyms=True)
+
+    def test_cross_group_duplicates_only_dropped_on_request(self):
+        g7 = classification_classes(7)
+        assert "BSET" in g7
+        g7_dedup = classification_classes(7, exclude_cross_group=True)
+        assert CROSS_GROUP_DUPLICATES.isdisjoint(g7_dedup)
+
+    def test_group4_drops_brlo_brsh(self):
+        g4 = classification_classes(4)
+        assert "BRLO" not in g4 and "BRSH" not in g4
+        assert "BRCS" in g4 and "BRCC" in g4
+
+
+class TestTable2:
+    def test_rows_complete(self):
+        rows = table2_rows()
+        assert len(rows) == 8
+        assert sum(r["n_instructions"] for r in rows) == 112
+
+    def test_row_fields(self):
+        row = table2_rows()[0]
+        assert row["group"] == 1
+        assert "ADD" in row["instructions"]
+        assert row["n_instructions"] == 12
+        assert any("Rd" in shape for shape in row["operand_shapes"])

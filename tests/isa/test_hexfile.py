@@ -1,0 +1,124 @@
+"""Intel HEX codec and CLI tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble, disassemble
+from repro.isa.hexfile import (
+    HexFormatError,
+    bytes_from_words,
+    parse_ihex,
+    to_ihex,
+    words_from_bytes,
+)
+
+
+class TestParse:
+    def test_simple_record(self):
+        # two data bytes at address 0
+        image = parse_ihex(":020000000C94" + f"{(-(0x02 + 0x0C + 0x94)) & 0xFF:02X}"
+                           + "\n:00000001FF\n")
+        assert image[0] == 0x0C and image[1] == 0x94
+
+    def test_round_trip_bytes(self):
+        data = bytes(range(48))
+        image = parse_ihex(to_ihex(data))
+        assert bytes(image[i] for i in range(len(data))) == data
+
+    def test_extended_linear_address(self):
+        text = (
+            ":020000040001F9\n"      # base = 0x10000
+            ":0100000042BD\n"        # byte 0x42 at 0x10000
+            ":00000001FF\n"
+        )
+        image = parse_ihex(text)
+        assert image[0x10000] == 0x42
+
+    def test_bad_checksum(self):
+        with pytest.raises(HexFormatError, match="checksum"):
+            parse_ihex(":0100000042BE\n:00000001FF\n")
+
+    def test_missing_start_code(self):
+        with pytest.raises(HexFormatError, match="start code"):
+            parse_ihex("0100000042BD\n:00000001FF\n")
+
+    def test_missing_eof(self):
+        with pytest.raises(HexFormatError, match="end-of-file"):
+            parse_ihex(":0100000042BD\n")
+
+    def test_data_after_eof(self):
+        with pytest.raises(HexFormatError, match="after EOF"):
+            parse_ihex(":00000001FF\n:0100000042BD\n")
+
+    def test_bad_hex_digits(self):
+        with pytest.raises(HexFormatError, match="hex digits"):
+            parse_ihex(":01000000ZZBD\n:00000001FF\n")
+
+    def test_length_mismatch(self):
+        with pytest.raises(HexFormatError):
+            parse_ihex(":050000004242BD\n:00000001FF\n")
+
+    def test_unsupported_record_type(self):
+        with pytest.raises(HexFormatError, match="record type"):
+            parse_ihex(":0100000342BA\n:00000001FF\n")
+
+
+class TestWords:
+    def test_little_endian_pairing(self):
+        words = words_from_bytes({0: 0x12, 1: 0x94})
+        assert words == [0x9412]
+
+    def test_gap_rejected(self):
+        with pytest.raises(HexFormatError, match="gap"):
+            words_from_bytes({0: 1, 1: 2, 4: 5, 5: 6})
+
+    def test_bytes_from_words_inverse(self):
+        words = [0x940C, 0x1234, 0x0000]
+        image = {i: b for i, b in enumerate(bytes_from_words(words))}
+        assert words_from_bytes(image) == words
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 0xFFFF), max_size=40))
+    def test_property_word_byte_round_trip(self, words):
+        data = bytes_from_words(words)
+        image = parse_ihex(to_ihex(data))
+        recovered = words_from_bytes(image) if words else []
+        assert recovered == list(words)
+
+
+class TestAssemblyRoundTrip:
+    def test_program_through_hex(self):
+        source = "ldi r16, 1\neor r16, r17\nsts 0x0200, r16"
+        instructions = assemble(source)
+        words = [w for i in instructions for w in i.encode()]
+        hex_text = to_ihex(bytes_from_words(words))
+        recovered = words_from_bytes(parse_ihex(hex_text))
+        decoded = disassemble(recovered)
+        assert [i.spec.key for i in decoded] == ["LDI", "EOR", "STS"]
+
+
+class TestCli:
+    def test_asm_disasm_round_trip(self, tmp_path, capsys):
+        from repro.isa.__main__ import main
+
+        asm = tmp_path / "p.asm"
+        asm.write_text("ldi r16, 0x42\nrjmp .-4\n")
+        hex_path = tmp_path / "p.hex"
+        assert main(["asm", str(asm), "-o", str(hex_path)]) == 0
+        capsys.readouterr()
+        assert main(["disasm", str(hex_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ldi r16, 66" in out
+        assert "rjmp .-4" in out
+
+    def test_words_dump(self, tmp_path, capsys):
+        from repro.isa.__main__ import main
+
+        asm = tmp_path / "p.asm"
+        asm.write_text("nop\n")
+        hex_path = tmp_path / "p.hex"
+        main(["asm", str(asm), "-o", str(hex_path)])
+        capsys.readouterr()
+        assert main(["disasm", str(hex_path), "--words"]) == 0
+        assert "0000: 0000" in capsys.readouterr().out

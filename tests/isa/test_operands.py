@@ -1,0 +1,141 @@
+"""Unit tests for operand kinds, codecs and text parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.operands import (
+    OperandError,
+    OperandKind,
+    format_operand,
+    from_field,
+    parse_operand,
+    to_field,
+    validate,
+)
+
+
+class TestValidation:
+    def test_reg_range(self):
+        validate(OperandKind.REG, 0)
+        validate(OperandKind.REG, 31)
+        with pytest.raises(OperandError):
+            validate(OperandKind.REG, 32)
+        with pytest.raises(OperandError):
+            validate(OperandKind.REG, -1)
+
+    def test_reg_high_rejects_low_half(self):
+        validate(OperandKind.REG_HIGH, 16)
+        with pytest.raises(OperandError):
+            validate(OperandKind.REG_HIGH, 15)
+
+    def test_reg_mul_range(self):
+        validate(OperandKind.REG_MUL, 16)
+        validate(OperandKind.REG_MUL, 23)
+        with pytest.raises(OperandError):
+            validate(OperandKind.REG_MUL, 24)
+
+    def test_pair_must_be_even(self):
+        validate(OperandKind.REG_PAIR, 30)
+        with pytest.raises(OperandError):
+            validate(OperandKind.REG_PAIR, 1)
+
+    def test_adiw_pair_restricted(self):
+        for reg in (24, 26, 28, 30):
+            validate(OperandKind.REG_PAIR_HIGH, reg)
+        with pytest.raises(OperandError):
+            validate(OperandKind.REG_PAIR_HIGH, 22)
+
+    def test_rel7_range(self):
+        validate(OperandKind.REL7, -64)
+        validate(OperandKind.REL7, 63)
+        with pytest.raises(OperandError):
+            validate(OperandKind.REL7, 64)
+
+    def test_imm8_range(self):
+        validate(OperandKind.IMM8, 255)
+        with pytest.raises(OperandError):
+            validate(OperandKind.IMM8, 256)
+
+
+class TestFieldCodec:
+    def test_reg_high_offset(self):
+        assert to_field(OperandKind.REG_HIGH, 16) == 0
+        assert to_field(OperandKind.REG_HIGH, 31) == 15
+        assert from_field(OperandKind.REG_HIGH, 15) == 31
+
+    def test_pair_halving(self):
+        assert to_field(OperandKind.REG_PAIR, 30) == 15
+        assert from_field(OperandKind.REG_PAIR, 15) == 30
+
+    def test_adiw_pair_encoding(self):
+        assert to_field(OperandKind.REG_PAIR_HIGH, 24) == 0
+        assert to_field(OperandKind.REG_PAIR_HIGH, 30) == 3
+
+    def test_signed_twos_complement(self):
+        assert to_field(OperandKind.REL7, -1) == 0x7F
+        assert from_field(OperandKind.REL7, 0x7F) == -1
+        assert to_field(OperandKind.REL12, -2048) == 0x800
+        assert from_field(OperandKind.REL12, 0x800) == -2048
+
+    @given(st.sampled_from(list(OperandKind)), st.data())
+    def test_round_trip_all_kinds(self, kind, data):
+        if kind is OperandKind.REG_PAIR:
+            value = data.draw(st.integers(0, 15)) * 2
+        elif kind is OperandKind.REG_PAIR_HIGH:
+            value = data.draw(st.sampled_from([24, 26, 28, 30]))
+        elif kind is OperandKind.REG_HIGH:
+            value = data.draw(st.integers(16, 31))
+        elif kind is OperandKind.REG_MUL:
+            value = data.draw(st.integers(16, 23))
+        elif kind is OperandKind.REL7:
+            value = data.draw(st.integers(-64, 63))
+        elif kind is OperandKind.REL12:
+            value = data.draw(st.integers(-2048, 2047))
+        elif kind is OperandKind.IMM8:
+            value = data.draw(st.integers(0, 255))
+        elif kind in (OperandKind.IMM6, OperandKind.DISP6, OperandKind.IO6):
+            value = data.draw(st.integers(0, 63))
+        elif kind is OperandKind.IO5:
+            value = data.draw(st.integers(0, 31))
+        elif kind in (OperandKind.BIT, OperandKind.SREG_BIT):
+            value = data.draw(st.integers(0, 7))
+        elif kind is OperandKind.ABS16:
+            value = data.draw(st.integers(0, 0xFFFF))
+        elif kind is OperandKind.ABS22:
+            value = data.draw(st.integers(0, 0x3FFFFF))
+        else:
+            value = data.draw(st.integers(0, 31))
+        assert from_field(kind, to_field(kind, value)) == value
+
+
+class TestText:
+    def test_format_register(self):
+        assert format_operand(OperandKind.REG, 17) == "r17"
+
+    def test_format_relative_is_byte_offset(self):
+        assert format_operand(OperandKind.REL7, 2) == ".+4"
+        assert format_operand(OperandKind.REL7, -3) == ".-6"
+
+    def test_parse_register(self):
+        assert parse_operand(OperandKind.REG, "r17") == 17
+        assert parse_operand(OperandKind.REG, "R5") == 5
+
+    def test_parse_rejects_non_register(self):
+        with pytest.raises(OperandError):
+            parse_operand(OperandKind.REG, "17")
+
+    def test_parse_relative_byte_offset(self):
+        assert parse_operand(OperandKind.REL7, ".+4") == 2
+        assert parse_operand(OperandKind.REL7, ".-6") == -3
+
+    def test_parse_relative_rejects_odd(self):
+        with pytest.raises(OperandError):
+            parse_operand(OperandKind.REL7, ".+3")
+
+    def test_parse_hex_immediate(self):
+        assert parse_operand(OperandKind.IMM8, "0xAB") == 0xAB
+        assert parse_operand(OperandKind.IMM8, "0b1010") == 10
+
+    def test_parse_out_of_range_immediate(self):
+        with pytest.raises(OperandError):
+            parse_operand(OperandKind.IMM8, "256")

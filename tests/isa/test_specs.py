@@ -1,0 +1,141 @@
+"""Tests of the instruction spec table itself (counts, encodings, syntax)."""
+
+import pytest
+
+from repro.isa import REGISTRY, MNEMONIC_INDEX, encode, spec_for
+from repro.isa.groups import EXPECTED_SIZES, GROUPS
+from repro.isa.specs import DECODE_ORDER
+
+
+class TestTableShape:
+    def test_table2_group_sizes(self):
+        for group, expected in EXPECTED_SIZES.items():
+            assert len(GROUPS[group]) == expected, f"group {group}"
+
+    def test_112_grouped_instructions(self):
+        assert sum(len(v) for v in GROUPS.values()) == 112
+
+    def test_unique_keys(self):
+        assert len({s.key for s in REGISTRY.values()}) == len(REGISTRY)
+
+    def test_aliases_reference_existing_canonicals(self):
+        for spec in REGISTRY.values():
+            if spec.alias_of is not None:
+                assert spec.alias_of in REGISTRY
+                assert not REGISTRY[spec.alias_of].is_alias
+
+    def test_decode_order_has_only_canonicals(self):
+        assert all(not s.is_alias for s in DECODE_ORDER)
+
+    def test_decode_order_most_specific_first(self):
+        counts = [s.compiled.fixed_bit_count for s in DECODE_ORDER]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_mnemonic_index_covers_registry(self):
+        keys = {s.key for specs in MNEMONIC_INDEX.values() for s in specs}
+        assert keys == set(REGISTRY)
+
+    def test_spec_for_error_message(self):
+        with pytest.raises(KeyError, match="unknown instruction class"):
+            spec_for("BOGUS")
+
+
+# Golden encodings cross-checked against the AVR instruction set manual /
+# avr-gcc output.
+GOLDEN = [
+    ("NOP", (), (0x0000,)),
+    ("MOVW", (26, 30), (0x01DF,)),
+    ("ADD", (1, 2), (0x0C12,)),
+    ("ADC", (1, 2), (0x1C12,)),
+    ("SUB", (16, 17), (0x1B01,)),
+    ("SBC", (3, 4), (0x0834,)),
+    ("AND", (5, 6), (0x2056,)),
+    ("OR", (7, 8), (0x2878,)),
+    ("EOR", (9, 10), (0x249A,)),
+    ("CP", (11, 12), (0x14BC,)),
+    ("CPC", (13, 14), (0x04DE,)),
+    ("CPSE", (15, 16), (0x12F0,)),
+    ("MOV", (17, 18), (0x2F12,)),
+    ("LDI", (16, 0xAB), (0xEA0B,)),
+    ("CPI", (17, 0x10), (0x3110,)),
+    ("SUBI", (18, 0xFF), (0x5F2F,)),
+    ("SBCI", (19, 0x01), (0x4031,)),
+    ("ANDI", (20, 0x0F), (0x704F,)),
+    ("ORI", (21, 0xF0), (0x6F50,)),
+    ("ADIW", (24, 1), (0x9601,)),
+    ("ADIW", (30, 63), (0x96FF,)),
+    ("SBIW", (26, 32), (0x9790,)),
+    ("COM", (22, ), (0x9560,)),
+    ("NEG", (23, ), (0x9571,)),
+    ("INC", (24, ), (0x9583,)),
+    ("DEC", (25, ), (0x959A,)),
+    ("LSR", (26, ), (0x95A6,)),
+    ("ROR", (27, ), (0x95B7,)),
+    ("ASR", (28, ), (0x95C5,)),
+    ("SWAP", (29, ), (0x95D2,)),
+    ("RJMP", (-1, ), (0xCFFF,)),
+    ("RJMP", (0, ), (0xC000,)),
+    ("JMP", (0x1234, ), (0x940C, 0x1234)),
+    ("CALL", (0x0100, ), (0x940E, 0x0100)),
+    ("BREQ", (5, ), (0xF029,)),
+    ("BRNE", (-3, ), (0xF7E9,)),
+    ("BRCS", (1, ), (0xF008,)),
+    ("LDS", (4, 0x0100), (0x9040, 0x0100)),
+    ("STS", (0x0200, 5), (0x9250, 0x0200)),
+    ("LD_X", (6, ), (0x906C,)),
+    ("LD_X+", (7, ), (0x907D,)),
+    ("LD_-X", (8, ), (0x908E,)),
+    ("LD_Y", (9, ), (0x8098,)),
+    ("LD_Z", (10, ), (0x80A0,)),
+    ("LDD_Y", (11, 10), (0x84BA,)),
+    ("LDD_Z", (12, 63), (0xACC7,)),
+    ("ST_X+", (13, ), (0x92DD,)),
+    ("STD_Y", (2, 14), (0x82EA,)),
+    ("PUSH", (15, ), (0x92FF,)),
+    ("POP", (16, ), (0x910F,)),
+    ("LPM_R0", (), (0x95C8,)),
+    ("LPM_Z", (17, ), (0x9114,)),
+    ("LPM_Z+", (18, ), (0x9125,)),
+    ("SEC", (), (0x9408,)),
+    ("CLC", (), (0x9488,)),
+    ("SEI", (), (0x9478,)),
+    ("CLI", (), (0x94F8,)),
+    ("BSET", (6, ), (0x9468,)),
+    ("BCLR", (0, ), (0x9488,)),
+    ("SBI", (5, 5), (0x9A2D,)),
+    ("CBI", (5, 5), (0x982D,)),
+    ("SBIC", (0x1F, 7), (0x99FF,)),
+    ("SBIS", (0, 0), (0x9B00,)),
+    ("SBRC", (19, 3), (0xFD33,)),
+    ("SBRS", (20, 4), (0xFF44,)),
+    ("BST", (21, 5), (0xFB55,)),
+    ("BLD", (22, 6), (0xF966,)),
+    ("IN", (23, 0x3E), (0xB77E,)),
+    ("OUT", (0x3F, 24), (0xBF8F,)),
+    ("MUL", (25, 26), (0x9F9A,)),
+    ("MULS", (16, 17), (0x0201,)),
+    ("MULSU", (16, 17), (0x0301,)),
+    ("FMUL", (17, 18), (0x031A,)),
+    ("RET", (), (0x9508,)),
+    ("RETI", (), (0x9518,)),
+    ("ICALL", (), (0x9509,)),
+    ("IJMP", (), (0x9409,)),
+    ("RCALL", (0, ), (0xD000,)),
+    ("TST", (3, ), (0x2033,)),
+    ("CLR", (4, ), (0x2444,)),
+    ("LSL", (5, ), (0x0C55,)),
+    ("ROL", (6, ), (0x1C66,)),
+    ("SER", (16, ), (0xEF0F,)),
+    ("SBR", (16, 3), (0x6003,)),
+    ("CBR", (17, 0x0F), (0x7F10,)),
+    ("SLEEP", (), (0x9588,)),
+    ("WDR", (), (0x95A8,)),
+    ("BREAK", (), (0x9598,)),
+    ("SPM", (), (0x95E8,)),
+]
+
+
+@pytest.mark.parametrize("key,values,expected", GOLDEN,
+                         ids=[f"{g[0]}-{i}" for i, g in enumerate(GOLDEN)])
+def test_golden_encoding(key, values, expected):
+    assert encode(key, *values) == expected

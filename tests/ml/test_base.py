@@ -1,0 +1,59 @@
+"""Estimator base API tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LDA, QDA, SVC, GaussianNB, KNeighborsClassifier
+from repro.ml.base import check_Xy
+
+
+class TestCheckXy:
+    def test_coerces_dtypes(self):
+        X, y = check_Xy([[1, 2], [3, 4]], [0, 1])
+        assert X.dtype == np.float64
+        assert y.dtype == np.int64
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros(5))
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros((3, 2)), np.zeros((3, 1)))
+
+
+class TestCloneAndParams:
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            LDA(shrinkage=0.05),
+            QDA(regularization=0.02),
+            GaussianNB(var_smoothing=1e-6),
+            KNeighborsClassifier(n_neighbors=7),
+            SVC(C=3.0, gamma=0.5, kernel="linear"),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_clone_preserves_hyperparameters(self, estimator):
+        clone = estimator.clone()
+        assert clone is not estimator
+        assert clone.get_params() == estimator.get_params()
+
+    def test_fitted_attributes_not_in_params(self):
+        rng = np.random.default_rng(0)
+        X = np.concatenate([rng.normal(-2, 1, (20, 2)), rng.normal(2, 1, (20, 2))])
+        y = np.repeat([0, 1], 20)
+        clf = LDA().fit(X, y)
+        params = clf.get_params()
+        assert "means_" not in params
+        assert "priors_" not in params
+
+    def test_score_is_accuracy(self):
+        rng = np.random.default_rng(1)
+        X = np.concatenate([rng.normal(-3, 0.5, (30, 2)), rng.normal(3, 0.5, (30, 2))])
+        y = np.repeat([0, 1], 30)
+        clf = LDA().fit(X, y)
+        manual = float(np.mean(clf.predict(X) == y))
+        assert clf.score(X, y) == pytest.approx(manual)

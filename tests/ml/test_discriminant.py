@@ -1,0 +1,104 @@
+"""LDA/QDA correctness tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import LDA, QDA
+
+
+def blobs(rng, means, n=120, scale=1.0):
+    X = np.concatenate([rng.normal(m, scale, (n, len(m))) for m in means])
+    y = np.repeat(np.arange(len(means)), n)
+    return X, y
+
+
+class TestLDA:
+    def test_separable_blobs(self):
+        rng = np.random.default_rng(0)
+        X, y = blobs(rng, [(0, 0), (6, 0), (0, 6)])
+        clf = LDA().fit(X, y)
+        assert clf.score(X, y) > 0.98
+
+    def test_decision_function_shape(self):
+        rng = np.random.default_rng(1)
+        X, y = blobs(rng, [(0, 0), (4, 0)])
+        clf = LDA().fit(X, y)
+        assert clf.decision_function(X).shape == (len(X), 2)
+
+    def test_posteriors_normalized(self):
+        rng = np.random.default_rng(2)
+        X, y = blobs(rng, [(0, 0), (4, 0), (2, 4)])
+        clf = LDA().fit(X, y)
+        proba = clf.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(proba >= 0)
+
+    def test_linear_boundary_at_midpoint(self):
+        """Equal covariances and priors -> boundary at the mean midpoint."""
+        rng = np.random.default_rng(3)
+        X, y = blobs(rng, [(-2, 0), (2, 0)], n=4000)
+        clf = LDA().fit(X, y)
+        scores = clf.decision_function(np.array([[0.0, 0.0]]))
+        assert abs(scores[0, 0] - scores[0, 1]) < 0.25
+
+    def test_priors_shift_boundary(self):
+        rng = np.random.default_rng(4)
+        X, y = blobs(rng, [(-1, 0), (1, 0)], n=500)
+        biased = LDA(priors=np.array([0.95, 0.05])).fit(X, y)
+        balanced = LDA().fit(X, y)
+        point = np.array([[0.0, 0.0]])
+        assert biased.predict(point)[0] == 0
+        # balanced classifier is ambivalent there; probability ~0.5
+        assert 0.3 < balanced.predict_proba(point)[0, 0] < 0.7
+
+    def test_clone_is_unfitted_copy(self):
+        clf = LDA(shrinkage=0.1)
+        clone = clf.clone()
+        assert clone is not clf
+        assert clone.shrinkage == 0.1
+
+
+class TestQDA:
+    def test_unequal_covariances(self):
+        """QDA separates concentric classes that defeat LDA."""
+        rng = np.random.default_rng(5)
+        inner = rng.normal(0, 0.5, (300, 2))
+        outer_angle = rng.uniform(0, 2 * np.pi, 300)
+        outer = 3.0 * np.column_stack(
+            [np.cos(outer_angle), np.sin(outer_angle)]
+        ) + rng.normal(0, 0.3, (300, 2))
+        X = np.concatenate([inner, outer])
+        y = np.repeat([0, 1], 300)
+        assert QDA().fit(X, y).score(X, y) > 0.95
+        assert LDA().fit(X, y).score(X, y) < 0.75
+
+    def test_matches_gaussian_bayes_rule(self):
+        rng = np.random.default_rng(6)
+        X, y = blobs(rng, [(0, 0), (5, 5)], n=2000)
+        clf = QDA().fit(X, y)
+        assert clf.score(X, y) > 0.99
+
+    def test_regularization_handles_few_samples(self):
+        rng = np.random.default_rng(7)
+        # 10 samples, 8 dims: raw covariance is singular
+        X = np.concatenate([rng.normal(0, 1, (10, 8)), rng.normal(3, 1, (10, 8))])
+        y = np.repeat([0, 1], 10)
+        clf = QDA(regularization=0.1).fit(X, y)
+        assert np.all(np.isfinite(clf.decision_function(X)))
+
+    def test_posteriors_normalized(self):
+        rng = np.random.default_rng(8)
+        X, y = blobs(rng, [(0, 0), (4, 1)])
+        proba = QDA().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.integers(2, 4), st.floats(3.0, 8.0))
+def test_property_well_separated_blobs_learned(seed, n_classes, gap):
+    rng = np.random.default_rng(seed)
+    means = [(gap * i, gap * (i % 2)) for i in range(n_classes)]
+    X, y = blobs(rng, means, n=60)
+    for clf in (LDA(), QDA()):
+        assert clf.fit(X, y).score(X, y) > 0.9

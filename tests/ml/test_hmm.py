@@ -1,0 +1,69 @@
+"""Gaussian HMM and Viterbi tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GaussianHMM, transition_matrix_from_sequences
+
+
+class TestTransitions:
+    def test_estimation_with_smoothing(self):
+        T = transition_matrix_from_sequences([[0, 1, 0, 1, 0]], 2, smoothing=0.0001)
+        assert T[0, 1] > 0.99
+        assert T[1, 0] > 0.99
+        np.testing.assert_allclose(T.sum(axis=1), 1.0)
+
+    def test_smoothing_avoids_zeros(self):
+        T = transition_matrix_from_sequences([[0, 0]], 3, smoothing=1.0)
+        assert np.all(T > 0)
+
+
+class TestViterbi:
+    def _make_hmm(self, rng, means=((0.0,), (5.0,))):
+        X = np.concatenate([rng.normal(m, 0.5, (100, 1)) for m in means])
+        states = np.repeat(np.arange(len(means)), 100)
+        hmm = GaussianHMM(n_states=len(means))
+        hmm.fit_emissions(X, states)
+        return hmm
+
+    def test_decodes_obvious_sequence(self):
+        rng = np.random.default_rng(0)
+        hmm = self._make_hmm(rng)
+        hmm.set_transitions(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        observations = np.array([[0.1], [4.9], [5.2], [-0.2]])
+        np.testing.assert_array_equal(hmm.viterbi(observations), [0, 1, 1, 0])
+
+    def test_transition_prior_overrides_weak_emissions(self):
+        rng = np.random.default_rng(1)
+        hmm = self._make_hmm(rng, means=((0.0,), (1.0,)))
+        # Strongly persistent dynamics
+        hmm.set_transitions(np.array([[0.999, 0.001], [0.001, 0.999]]))
+        # Ambiguous middle observation between two state-0 anchors
+        observations = np.array([[0.0], [0.55], [0.0]])
+        states = hmm.viterbi(observations)
+        assert states[1] == 0  # prior keeps it in state 0
+
+    def test_decode_posteriors_path(self):
+        hmm = GaussianHMM(n_states=2)
+        hmm.set_transitions(np.array([[0.9, 0.1], [0.1, 0.9]]))
+        log_post = np.log(np.array([[0.9, 0.1], [0.6, 0.4], [0.02, 0.98]]))
+        states = hmm.decode_posteriors(log_post)
+        assert states[0] == 0 and states[-1] == 1
+
+    def test_unset_transitions_raise(self):
+        rng = np.random.default_rng(2)
+        hmm = self._make_hmm(rng)
+        with pytest.raises(RuntimeError):
+            hmm.viterbi(np.zeros((3, 1)))
+
+    def test_bad_transition_matrix_rejected(self):
+        hmm = GaussianHMM(n_states=2)
+        with pytest.raises(ValueError):
+            hmm.set_transitions(np.array([[0.5, 0.2], [0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            hmm.set_transitions(np.eye(3))
+
+    def test_empty_state_rejected(self):
+        hmm = GaussianHMM(n_states=3)
+        with pytest.raises(ValueError):
+            hmm.fit_emissions(np.zeros((4, 2)), np.array([0, 0, 1, 1]))

@@ -1,0 +1,82 @@
+"""SMO optimality: the fitted dual variables must satisfy the KKT
+conditions of the C-SVM problem (within the solver tolerance)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.svm import SVC, rbf_kernel, linear_kernel
+
+
+def kkt_violation(machine, X, y_pm):
+    """Maximal violating pair gap m(alpha) - M(alpha) at the solution."""
+    kernel = rbf_kernel if machine.kernel == "rbf" else linear_kernel
+    K = kernel(X, X, machine.gamma)
+    alpha = np.zeros(len(X))
+    alpha[machine.support_mask_] = np.abs(machine.dual_coef_)
+    Q = (y_pm[:, None] * y_pm[None, :]) * K
+    G = Q @ alpha - 1.0
+    yG = -y_pm * G
+    C = machine.C
+    up = ((alpha < C - 1e-9) & (y_pm > 0)) | ((alpha > 1e-9) & (y_pm < 0))
+    low = ((alpha < C - 1e-9) & (y_pm < 0)) | ((alpha > 1e-9) & (y_pm > 0))
+    if not up.any() or not low.any():
+        return 0.0
+    return float(yG[up].max() - yG[low].min())
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000), st.sampled_from([0.5, 2.0, 10.0]))
+def test_property_smo_satisfies_kkt(seed, C):
+    rng = np.random.default_rng(seed)
+    X = np.concatenate(
+        [rng.normal(-1.0, 1.0, (40, 3)), rng.normal(1.0, 1.0, (40, 3))]
+    )
+    y = np.repeat([0, 1], 40)
+    clf = SVC(C=C, tol=1e-3).fit(X, y)
+    machine = clf._machines[(0, 1)]
+    y_pm = np.where(y == 0, 1.0, -1.0)
+    assert kkt_violation(machine, X, y_pm) <= clf.tol + 1e-6
+
+
+def test_dual_constraint_sum_zero():
+    """sum alpha_i y_i = 0 at the solution (the equality constraint)."""
+    rng = np.random.default_rng(3)
+    X = np.concatenate(
+        [rng.normal(-1.5, 1.0, (60, 2)), rng.normal(1.5, 1.0, (60, 2))]
+    )
+    y = np.repeat([0, 1], 60)
+    clf = SVC(C=5.0).fit(X, y)
+    machine = clf._machines[(0, 1)]
+    assert abs(machine.dual_coef_.sum()) < 1e-6
+
+
+def test_box_constraints_respected():
+    rng = np.random.default_rng(4)
+    X = rng.normal(0, 1, (80, 2))
+    y = (X[:, 0] + 0.3 * rng.normal(0, 1, 80) > 0).astype(int)
+    C = 2.0
+    clf = SVC(C=C).fit(X, y)
+    machine = clf._machines[(0, 1)]
+    alphas = np.abs(machine.dual_coef_)
+    assert np.all(alphas >= -1e-9)
+    assert np.all(alphas <= C + 1e-9)
+
+
+def test_margin_support_vectors_on_margin():
+    """Free SVs (0 < alpha < C) sit on the +/-1 margin."""
+    rng = np.random.default_rng(5)
+    X = np.concatenate(
+        [rng.normal(-2.0, 0.8, (80, 2)), rng.normal(2.0, 0.8, (80, 2))]
+    )
+    y = np.repeat([0, 1], 80)
+    clf = SVC(C=1.0, kernel="linear").fit(X, y)
+    machine = clf._machines[(0, 1)]
+    y_pm = np.where(y == 0, 1.0, -1.0)
+    decision = machine.decision_function(X)
+    alphas = np.zeros(len(X))
+    alphas[machine.support_mask_] = np.abs(machine.dual_coef_)
+    free = (alphas > 1e-6) & (alphas < machine.C - 1e-6)
+    if free.any():
+        margins = y_pm[free] * decision[free]
+        np.testing.assert_allclose(margins, 1.0, atol=0.05)

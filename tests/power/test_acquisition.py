@@ -1,0 +1,175 @@
+"""Acquisition framework tests."""
+
+import numpy as np
+import pytest
+
+from repro.isa import OperandKind, REGISTRY
+from repro.power import Acquisition, TraceSet, make_devices, random_instance
+from repro.power.acquisition import (
+    DEFAULT_RD_POOL,
+    DEFAULT_RR_POOL,
+    TARGET_SLOT,
+    TEMPLATE_LENGTH,
+    default_neighbor_pool,
+)
+
+
+class TestRandomInstance:
+    def test_respects_fixed(self):
+        rng = np.random.default_rng(0)
+        instance = random_instance("ADD", rng, fixed={0: 7})
+        assert instance.values[0] == 7
+
+    def test_two_reg_operands_distinct(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            instance = random_instance("EOR", rng)
+            assert instance.values[0] != instance.values[1]
+
+    def test_branch_offset_pinned_to_zero(self):
+        rng = np.random.default_rng(2)
+        assert random_instance("BREQ", rng).values == (0,)
+        assert random_instance("RJMP", rng).values == (0,)
+
+    def test_jmp_targets_next_instruction(self):
+        rng = np.random.default_rng(3)
+        instance = random_instance("JMP", rng, word_address=10)
+        assert instance.values == (12,)
+
+    def test_lds_address_in_sram(self):
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            address = random_instance("LDS", rng).values[1]
+            assert 0x0100 <= address < 0x0900
+
+    def test_io_avoids_reserved(self):
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            a = random_instance("OUT", rng).values[0]
+            assert a not in (0x3D, 0x3E, 0x3F)
+
+    def test_every_class_instantiable(self):
+        rng = np.random.default_rng(6)
+        for key in REGISTRY:
+            instance = random_instance(key, rng, word_address=4)
+            instance.encode()  # must be a legal instruction
+
+
+class TestCaptureShapes:
+    def test_instruction_set_shapes(self):
+        acq = Acquisition(seed=1)
+        ts = acq.capture_instruction_set(["ADC", "AND"], 30, 3)
+        assert ts.traces.shape == (60, 315)
+        assert ts.label_names == ("ADC", "AND")
+        assert set(ts.program_ids) == {0, 1, 2}
+        assert ts.traces.dtype == np.float32
+
+    def test_uneven_split_across_programs(self):
+        acq = Acquisition(seed=1)
+        windows, pids = acq.capture_class("NOP", 10, 3)
+        assert len(windows) == 10
+        counts = np.bincount(pids)
+        assert counts.max() - counts.min() <= 1
+
+    def test_register_set_rd(self):
+        acq = Acquisition(seed=2)
+        ts = acq.capture_register_set("Rd", (0, 16), 20, 2)
+        assert ts.label_names == ("Rd0", "Rd16")
+        assert len(ts) == 40
+
+    def test_register_pool_compatibility(self):
+        # r0 cannot be used with REG_HIGH instructions; pool must filter.
+        acq = Acquisition(seed=3)
+        ts = acq.capture_register_set("Rd", (0,), 10, 2)
+        assert len(ts) == 10
+
+    def test_register_role_validation(self):
+        acq = Acquisition(seed=4)
+        with pytest.raises(ValueError):
+            acq.capture_register_set("Rx", (0,), 4, 2)
+
+    def test_default_pools_cover_shapes(self):
+        kinds = {
+            REGISTRY[k].operands[0].kind for k in DEFAULT_RD_POOL
+        }
+        assert OperandKind.REG in kinds and OperandKind.REG_HIGH in kinds
+        for key in DEFAULT_RR_POOL:
+            assert REGISTRY[key].operands[1].kind is OperandKind.REG
+
+    def test_reproducible(self):
+        a = Acquisition(seed=7).capture_instruction_set(["NOP"], 12, 2)
+        b = Acquisition(seed=7).capture_instruction_set(["NOP"], 12, 2)
+        np.testing.assert_array_equal(a.traces, b.traces)
+
+    def test_different_seeds_differ(self):
+        a = Acquisition(seed=7).capture_instruction_set(["NOP"], 12, 2)
+        b = Acquisition(seed=8).capture_instruction_set(["NOP"], 12, 2)
+        assert not np.allclose(a.traces, b.traces)
+
+
+class TestMixedAndProgramCapture:
+    def test_mixed_program_single_shift(self):
+        acq = Acquisition(seed=5)
+        ts = acq.capture_mixed_program(["ADC", "AND"], 15, program_id=3)
+        assert len(ts) == 30
+        assert set(ts.program_ids) == {3}
+        assert np.bincount(ts.labels).tolist() == [15, 15]
+
+    def test_capture_program_windows(self):
+        acq = Acquisition(seed=6)
+        capture = acq.capture_program("ldi r16, 1\nadd r16, r17\nnop")
+        assert capture.windows.shape == (3, 315)
+        assert [i.spec.key for i in capture.instructions] == [
+            "LDI", "ADD", "NOP",
+        ]
+
+    def test_reference_window_cached(self):
+        acq = Acquisition(seed=7)
+        a = acq.reference_window()
+        b = acq.reference_window()
+        assert a is b
+        assert a.shape == (315,)
+
+
+class TestDevices:
+    def test_make_devices(self):
+        train, targets = make_devices(3, seed=1)
+        assert train.name == "train"
+        assert [d.name for d in targets] == ["dev1", "dev2", "dev3"]
+        assert len({d.gain for d in targets}) == 3
+
+    def test_neighbor_pool_is_canonical_grouped(self):
+        pool = default_neighbor_pool()
+        assert "ADD" in pool and "SBR" not in pool
+        assert all(REGISTRY[k].group is not None for k in pool)
+
+
+class TestTemplateStructure:
+    def test_template_constants(self):
+        assert TEMPLATE_LENGTH == 7
+        assert TARGET_SLOT == 3
+
+    def test_segment_structure(self):
+        acq = Acquisition(seed=8)
+        rng = np.random.default_rng(0)
+        instructions, targets = acq._build_segments(
+            rng, n_segments=3, target_key="ADC"
+        )
+        assert len(instructions) == 21
+        assert targets == [3, 10, 17]
+        for start in (0, 7, 14):
+            assert instructions[start].spec.key == "SBI"
+            assert instructions[start + 1].spec.key == "NOP"
+            assert instructions[start + 3].spec.key == "ADC"
+            assert instructions[start + 5].spec.key == "NOP"
+            assert instructions[start + 6].spec.key == "CBI"
+
+    def test_no_skip_before_target(self):
+        acq = Acquisition(seed=9)
+        rng = np.random.default_rng(1)
+        instructions, targets = acq._build_segments(
+            rng, n_segments=200, target_key="ADC"
+        )
+        skips = {"CPSE", "SBRC", "SBRS", "SBIC", "SBIS"}
+        for index in targets:
+            assert instructions[index - 1].spec.semantics not in skips

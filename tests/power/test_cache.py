@@ -1,0 +1,55 @@
+"""TraceCache tests."""
+
+import numpy as np
+import pytest
+
+from repro.power import Acquisition
+from repro.power.cache import TraceCache
+
+
+class TestTraceCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        calls = []
+
+        def capture():
+            calls.append(1)
+            return Acquisition(seed=3).capture_instruction_set(["NOP"], 8, 2)
+
+        key = {"classes": ["NOP"], "n": 8, "seed": 3}
+        first = cache.get_or_capture(key, capture)
+        second = cache.get_or_capture(key, capture)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(first.traces, second.traces)
+        assert second.label_names == ("NOP",)
+
+    def test_distinct_keys_distinct_entries(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        a = cache.get_or_capture(
+            {"n": 4}, lambda: Acquisition(seed=1).capture_instruction_set(["NOP"], 4, 2)
+        )
+        b = cache.get_or_capture(
+            {"n": 6}, lambda: Acquisition(seed=1).capture_instruction_set(["NOP"], 6, 2)
+        )
+        assert len(a) == 4 and len(b) == 6
+        assert cache.contains({"n": 4}) and cache.contains({"n": 6})
+
+    def test_version_salt_invalidates(self, tmp_path):
+        key = {"n": 4}
+        old = TraceCache(tmp_path, version_salt="v1")
+        old.get_or_capture(
+            key, lambda: Acquisition(seed=1).capture_instruction_set(["NOP"], 4, 2)
+        )
+        fresh = TraceCache(tmp_path, version_salt="v2")
+        assert not fresh.contains(key)
+
+    def test_clear(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.get_or_capture(
+            {"n": 4}, lambda: Acquisition(seed=1).capture_instruction_set(["NOP"], 4, 2)
+        )
+        assert cache.clear() == 1
+        assert not cache.contains({"n": 4})
+
+    def test_clear_missing_directory(self, tmp_path):
+        assert TraceCache(tmp_path / "nope").clear() == 0

@@ -1,0 +1,92 @@
+"""TraceSet container tests."""
+
+import numpy as np
+import pytest
+
+from repro.power import TraceSet
+
+
+def make_set(n_per_class=10, n_classes=3, n_programs=2):
+    rng = np.random.default_rng(0)
+    n = n_per_class * n_classes
+    return TraceSet(
+        traces=rng.normal(0, 1, (n, 8)).astype(np.float32),
+        labels=np.repeat(np.arange(n_classes), n_per_class),
+        label_names=tuple(f"C{i}" for i in range(n_classes)),
+        program_ids=np.tile(
+            np.repeat(np.arange(n_programs), n_per_class // n_programs),
+            n_classes,
+        ),
+    )
+
+
+class TestBasics:
+    def test_lengths_validated(self):
+        with pytest.raises(ValueError):
+            TraceSet(np.zeros((3, 4)), np.zeros(2), ("a",), np.zeros(3))
+        with pytest.raises(ValueError):
+            TraceSet(np.zeros((3, 4)), np.zeros(3), ("a",), np.zeros(2))
+
+    def test_properties(self):
+        ts = make_set()
+        assert len(ts) == 30
+        assert ts.n_samples == 8
+        assert ts.n_classes == 3
+        assert ts.key_of(0) == "C0"
+
+    def test_class_indices(self):
+        ts = make_set()
+        idx = ts.class_indices("C1")
+        assert np.all(ts.labels[idx] == 1)
+        assert len(idx) == 10
+
+    def test_select_mask(self):
+        ts = make_set()
+        subset = ts.select(ts.labels == 2)
+        assert len(subset) == 10
+        assert subset.label_names == ts.label_names
+
+
+class TestSplits:
+    def test_split_by_programs(self):
+        ts = make_set()
+        train, test = ts.split_by_programs([1])
+        assert np.all(train.program_ids == 0)
+        assert np.all(test.program_ids == 1)
+        assert len(train) + len(test) == len(ts)
+
+    def test_split_random_stratified(self):
+        ts = make_set(n_per_class=20)
+        rng = np.random.default_rng(1)
+        train, test = ts.split_random(0.75, rng)
+        for code in range(3):
+            assert (train.labels == code).sum() == 15
+            assert (test.labels == code).sum() == 5
+
+    def test_concatenate(self):
+        a, b = make_set(), make_set()
+        merged = TraceSet.concatenate([a, b])
+        assert len(merged) == 60
+
+    def test_concatenate_label_mismatch(self):
+        a = make_set()
+        b = make_set()
+        b.label_names = ("X", "Y", "Z")
+        with pytest.raises(ValueError):
+            TraceSet.concatenate([a, b])
+
+    def test_concatenate_empty(self):
+        with pytest.raises(ValueError):
+            TraceSet.concatenate([])
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        ts = make_set()
+        path = tmp_path / "traces.npz"
+        ts.save(path)
+        loaded = TraceSet.load(path)
+        np.testing.assert_array_equal(loaded.traces, ts.traces)
+        np.testing.assert_array_equal(loaded.labels, ts.labels)
+        assert loaded.label_names == ts.label_names
+        assert loaded.device == ts.device

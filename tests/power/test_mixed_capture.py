@@ -1,0 +1,63 @@
+"""capture_mixed_program options and window-edge behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.power import Acquisition
+from repro.power.acquisition import random_instance
+
+
+class TestMixedProgramOptions:
+    def test_fixed_by_class(self):
+        acq = Acquisition(seed=91)
+        ts = acq.capture_mixed_program(
+            ["EOR", "LDI"],
+            n_per_class=6,
+            fixed_by_class={"EOR": {0: 16, 1: 17}, "LDI": {0: 20}},
+        )
+        assert len(ts) == 12
+        assert set(ts.label_names) == {"EOR", "LDI"}
+
+    def test_sampler_override(self):
+        acq = Acquisition(seed=92)
+        seen = []
+
+        def eor_sampler(rng, address):
+            seen.append(address)
+            return random_instance("EOR", rng, word_address=address,
+                                   fixed={0: 16, 1: 0})
+
+        ts = acq.capture_mixed_program(
+            ["EOR", "LDI"],
+            n_per_class=5,
+            target_sampler_by_class={"EOR": eor_sampler},
+        )
+        assert len(seen) == 5  # sampler used exactly once per EOR slot
+        assert len(ts) == 10
+
+    def test_reproducible_per_program_id(self):
+        a = Acquisition(seed=93).capture_mixed_program(["ADD", "AND"], 8, 1)
+        b = Acquisition(seed=93).capture_mixed_program(["ADD", "AND"], 8, 1)
+        np.testing.assert_array_equal(a.traces, b.traces)
+        c = Acquisition(seed=93).capture_mixed_program(["ADD", "AND"], 8, 2)
+        assert not np.allclose(a.traces, c.traces)
+
+    def test_interleaving_shuffled(self):
+        ts = Acquisition(seed=94).capture_mixed_program(["ADD", "AND"], 20, 0)
+        # labels must not be two contiguous blocks
+        first_half = ts.labels[: len(ts) // 2]
+        assert 0 in first_half and 1 in first_half
+
+
+class TestWindowEdges:
+    def test_first_window_clamped(self):
+        """Trigger jitter cannot push a window before the trace start."""
+        from repro.power import Oscilloscope
+
+        acq = Acquisition(
+            seed=95,
+            scope=Oscilloscope(trigger_jitter_std=50.0),  # absurd jitter
+        )
+        windows, _ = acq.capture_class("NOP", 6, 2)
+        assert windows.shape == (6, 315)
+        assert np.all(np.isfinite(windows))

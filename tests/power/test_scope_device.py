@@ -1,0 +1,101 @@
+"""Oscilloscope and shift-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.power import Oscilloscope, ProgramShift, SessionShift
+
+
+class TestScope:
+    def test_noise_free_capture_close_to_input(self):
+        scope = Oscilloscope(noise_sigma=0.0, trigger_jitter_std=0.0)
+        t = np.linspace(0, 1, 2000)
+        analog = 5.0 + 2.0 * np.sin(2 * np.pi * 3 * t)
+        digital = scope.digitize(analog)
+        assert np.abs(digital[100:-100] - analog[100:-100]).max() < 0.1
+
+    def test_bandwidth_attenuates_high_frequency(self):
+        scope = Oscilloscope(noise_sigma=0.0, bandwidth_hz=100e6)
+        n = 4000
+        t = np.arange(n)
+        # 500 MHz tone at 2.5 GS/s = period of 5 samples
+        fast = np.sin(2 * np.pi * t / 5)
+        slow = np.sin(2 * np.pi * t / 200)
+        fast_out = scope.digitize(fast)
+        slow_out = scope.digitize(slow)
+        assert fast_out.std() < 0.3 * slow_out.std()
+
+    def test_quantization_step(self):
+        scope = Oscilloscope(noise_sigma=0.0, adc_bits=4, full_scale=(0.0, 16.0))
+        out = scope.digitize(np.linspace(0, 16, 1000))
+        levels = np.unique(np.round(out, 6))
+        assert len(levels) <= 16
+
+    def test_clipping(self):
+        scope = Oscilloscope(noise_sigma=0.0, full_scale=(-1.0, 1.0))
+        out = scope.digitize(np.full(500, 99.0))
+        assert out.max() <= 1.0 + 1e-6
+
+    def test_noise_reproducible_with_rng(self):
+        scope = Oscilloscope(noise_sigma=0.1)
+        analog = np.zeros(500)
+        a = scope.digitize(analog, np.random.default_rng(5))
+        b = scope.digitize(analog, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_trigger_offset_statistics(self):
+        scope = Oscilloscope(trigger_jitter_std=1.0)
+        rng = np.random.default_rng(0)
+        offsets = [scope.trigger_offset(rng) for _ in range(500)]
+        assert abs(np.mean(offsets)) < 0.3
+        assert 0.5 < np.std(offsets) < 1.5
+
+    def test_zero_jitter(self):
+        scope = Oscilloscope(trigger_jitter_std=0.0)
+        assert scope.trigger_offset(np.random.default_rng(0)) == 0
+
+
+class TestShifts:
+    def test_program_shift_gain_dc(self):
+        shift = ProgramShift(dc_offset=2.0, gain=1.5)
+        out = shift.apply(np.ones(300), samples_per_cycle=157)
+        np.testing.assert_allclose(out, 3.5, atol=1e-9)
+
+    def test_wobble_period(self):
+        shift = ProgramShift(wobble_amplitude=1.0, wobble_period_cycles=2.0)
+        baseline = shift.baseline(157 * 4, samples_per_cycle=157)
+        # one full period spans 2 cycles = 314 samples
+        np.testing.assert_allclose(baseline[0], baseline[314], atol=1e-6)
+
+    def test_tilt_boosts_low_frequencies_only(self):
+        shift = ProgramShift(tilt=1.0, tilt_sigma_samples=2.0)
+        n = 4000
+        t = np.arange(n)
+        slow = np.sin(2 * np.pi * t / 400)
+        fast = np.sin(2 * np.pi * t / 4)
+        slow_out = shift.apply(slow, 157)
+        fast_out = shift.apply(fast, 157)
+        assert slow_out.std() > 1.8 * slow.std()
+        assert fast_out.std() < 1.1 * fast.std()
+
+    def test_sampled_shifts_differ(self):
+        rng = np.random.default_rng(1)
+        a = ProgramShift.sample(rng)
+        b = ProgramShift.sample(rng)
+        assert a.dc_offset != b.dc_offset
+
+    def test_session_apply(self):
+        session = SessionShift(gain=2.0, offset=-1.0)
+        out = session.apply(np.ones(100))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_session_tilt_mechanism_matches_program(self):
+        rng = np.random.default_rng(2)
+        trace = rng.normal(0, 1, 1000)
+        session = SessionShift(tilt=0.8)
+        program = ProgramShift(tilt=0.8)
+        np.testing.assert_allclose(
+            session.apply(trace),
+            program.apply(trace, 157) - program.baseline(1000, 157),
+            atol=1e-9,
+        )

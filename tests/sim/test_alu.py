@@ -1,0 +1,232 @@
+"""Instruction-semantics tests for arithmetic/logic, flags included.
+
+Flag expectations follow the AVR instruction set manual formulas.
+"""
+
+import pytest
+
+from repro.sim import AvrCpu
+
+
+def run(asm, **init_regs):
+    """Assemble, preset registers, run to completion, return the CPU."""
+    cpu = AvrCpu(asm)
+    for name, value in init_regs.items():
+        if name == "sreg":
+            cpu.state.sreg = value
+        else:
+            cpu.state.set_reg(int(name[1:]), value)
+    cpu.run()
+    return cpu
+
+
+def flags(cpu, names):
+    return {n: cpu.state.flag(n) for n in names}
+
+
+class TestAdd:
+    def test_plain_add(self):
+        cpu = run("add r0, r1", r0=10, r1=20)
+        assert cpu.state.reg(0) == 30
+
+    def test_carry_and_zero(self):
+        cpu = run("add r0, r1", r0=0x80, r1=0x80)
+        assert cpu.state.reg(0) == 0
+        assert flags(cpu, "CZNV") == {"C": 1, "Z": 1, "N": 0, "V": 1}
+
+    def test_half_carry(self):
+        cpu = run("add r0, r1", r0=0x08, r1=0x08)
+        assert cpu.state.flag("H") == 1
+
+    def test_signed_overflow(self):
+        cpu = run("add r0, r1", r0=0x7F, r1=0x01)
+        assert cpu.state.reg(0) == 0x80
+        assert flags(cpu, "VNS") == {"V": 1, "N": 1, "S": 0}
+
+    def test_adc_consumes_carry(self):
+        cpu = run("sec\nadc r0, r1", r0=1, r1=1)
+        assert cpu.state.reg(0) == 3
+
+
+class TestSub:
+    def test_plain_sub(self):
+        cpu = run("sub r2, r3", r2=30, r3=10)
+        assert cpu.state.reg(2) == 20
+        assert cpu.state.flag("C") == 0
+
+    def test_borrow_sets_carry(self):
+        cpu = run("sub r2, r3", r2=10, r3=30)
+        assert cpu.state.reg(2) == (10 - 30) & 0xFF
+        assert cpu.state.flag("C") == 1
+
+    def test_cp_does_not_write(self):
+        cpu = run("cp r2, r3", r2=5, r3=5)
+        assert cpu.state.reg(2) == 5
+        assert cpu.state.flag("Z") == 1
+
+    def test_sbc_z_flag_sticky(self):
+        # SBC never *sets* Z; it can only leave it or clear it.
+        cpu = run("clz\nsbc r2, r3", r2=5, r3=5)
+        assert cpu.state.reg(2) == 5 - 5
+        assert cpu.state.flag("Z") == 0  # stays cleared despite zero result
+
+    def test_cpc_chain_16bit_compare(self):
+        # Compare r1:r0 == r3:r2 as a 16-bit quantity.
+        cpu = run("cp r0, r2\ncpc r1, r3", r0=0x34, r1=0x12, r2=0x34, r3=0x12)
+        assert cpu.state.flag("Z") == 1
+
+
+class TestLogic:
+    def test_and_clears_v(self):
+        cpu = run("sev\nand r4, r5", r4=0xF0, r5=0x0F)
+        assert cpu.state.reg(4) == 0
+        assert flags(cpu, "ZV") == {"Z": 1, "V": 0}
+
+    def test_or(self):
+        cpu = run("or r4, r5", r4=0xF0, r5=0x0F)
+        assert cpu.state.reg(4) == 0xFF
+        assert cpu.state.flag("N") == 1
+
+    def test_eor_self_clears(self):
+        cpu = run("eor r4, r4", r4=0xA5)
+        assert cpu.state.reg(4) == 0
+        assert cpu.state.flag("Z") == 1
+
+    def test_com(self):
+        cpu = run("com r6", r6=0x55)
+        assert cpu.state.reg(6) == 0xAA
+        assert cpu.state.flag("C") == 1
+
+    def test_neg(self):
+        cpu = run("neg r6", r6=1)
+        assert cpu.state.reg(6) == 0xFF
+        assert cpu.state.flag("C") == 1
+
+    def test_neg_of_zero(self):
+        cpu = run("neg r6", r6=0)
+        assert cpu.state.reg(6) == 0
+        assert cpu.state.flag("C") == 0
+
+    def test_neg_of_0x80_overflow(self):
+        cpu = run("neg r6", r6=0x80)
+        assert cpu.state.reg(6) == 0x80
+        assert cpu.state.flag("V") == 1
+
+
+class TestIncDec:
+    def test_inc_wraps_without_carry(self):
+        cpu = run("sec\ninc r7", r7=0xFF)
+        assert cpu.state.reg(7) == 0
+        assert cpu.state.flag("Z") == 1
+        assert cpu.state.flag("C") == 1  # C untouched by INC
+
+    def test_inc_overflow_at_7f(self):
+        cpu = run("inc r7", r7=0x7F)
+        assert cpu.state.flag("V") == 1
+
+    def test_dec_overflow_at_80(self):
+        cpu = run("dec r7", r7=0x80)
+        assert cpu.state.flag("V") == 1
+        assert cpu.state.reg(7) == 0x7F
+
+
+class TestShifts:
+    def test_lsr_carry_out(self):
+        cpu = run("lsr r8", r8=0x03)
+        assert cpu.state.reg(8) == 0x01
+        assert cpu.state.flag("C") == 1
+        assert cpu.state.flag("N") == 0
+
+    def test_ror_rotates_through_carry(self):
+        cpu = run("sec\nror r8", r8=0x02)
+        assert cpu.state.reg(8) == 0x81
+        assert cpu.state.flag("C") == 0
+
+    def test_asr_preserves_sign(self):
+        cpu = run("asr r8", r8=0x81)
+        assert cpu.state.reg(8) == 0xC0
+        assert cpu.state.flag("C") == 1
+
+    def test_lsl_alias_doubles(self):
+        cpu = run("lsl r8", r8=0x41)
+        assert cpu.state.reg(8) == 0x82
+
+    def test_rol_alias(self):
+        cpu = run("sec\nrol r8", r8=0x01)
+        assert cpu.state.reg(8) == 0x03
+
+    def test_swap(self):
+        cpu = run("swap r8", r8=0xAB)
+        assert cpu.state.reg(8) == 0xBA
+
+
+class TestImmediates:
+    def test_ldi_and_ser(self):
+        cpu = run("ldi r16, 0x5A\nser r17")
+        assert cpu.state.reg(16) == 0x5A
+        assert cpu.state.reg(17) == 0xFF
+
+    def test_subi_sbci_16bit_chain(self):
+        # subtract 0x0101 from r25:r24 = 0x0203
+        cpu = run("subi r24, 0x01\nsbci r25, 0x01", r24=0x03, r25=0x02)
+        assert cpu.state.reg(24) == 0x02
+        assert cpu.state.reg(25) == 0x01
+
+    def test_andi_ori(self):
+        cpu = run("andi r18, 0x0F\nori r19, 0xF0", r18=0xFF, r19=0x0F)
+        assert cpu.state.reg(18) == 0x0F
+        assert cpu.state.reg(19) == 0xFF
+
+    def test_cbr_clears_mask(self):
+        cpu = run("cbr r20, 0x0F", r20=0xFF)
+        assert cpu.state.reg(20) == 0xF0
+
+    def test_cpi_flags(self):
+        cpu = run("cpi r21, 10", r21=10)
+        assert cpu.state.flag("Z") == 1
+
+
+class TestWordArithmetic:
+    def test_adiw(self):
+        cpu = run("adiw r24, 63", r24=0xFF, r25=0x00)
+        assert cpu.state.reg_pair(24) == 0xFF + 63
+
+    def test_adiw_carry(self):
+        cpu = run("adiw r24, 1", r24=0xFF, r25=0xFF)
+        assert cpu.state.reg_pair(24) == 0
+        assert cpu.state.flag("C") == 1
+        assert cpu.state.flag("Z") == 1
+
+    def test_sbiw_borrow(self):
+        cpu = run("sbiw r26, 1", r26=0, r27=0)
+        assert cpu.state.reg_pair(26) == 0xFFFF
+        assert cpu.state.flag("C") == 1
+
+    def test_movw(self):
+        cpu = run("movw r0, r30", r30=0xCD, r31=0xAB)
+        assert cpu.state.reg(0) == 0xCD
+        assert cpu.state.reg(1) == 0xAB
+
+
+class TestMultiply:
+    def test_mul_unsigned(self):
+        cpu = run("mul r16, r17", r16=200, r17=100)
+        assert cpu.state.reg(0) == (200 * 100) & 0xFF
+        assert cpu.state.reg(1) == (200 * 100) >> 8
+        assert cpu.state.flag("C") == 0
+
+    def test_mul_carry_is_bit15(self):
+        cpu = run("mul r16, r17", r16=255, r17=255)
+        assert cpu.state.flag("C") == 1
+
+    def test_muls_signed(self):
+        cpu = run("muls r16, r17", r16=0xFF, r17=2)  # -1 * 2
+        assert (cpu.state.reg(1) << 8 | cpu.state.reg(0)) == 0xFFFE
+
+    def test_mulsu(self):
+        cpu = run("mulsu r16, r17", r16=0xFF, r17=2)  # -1 * 2u
+        assert (cpu.state.reg(1) << 8 | cpu.state.reg(0)) == 0xFFFE
+
+    def test_fmul_shifts_left(self):
+        cpu = run("fmul r16, r17", r16=0x40, r17=0x40)
+        assert (cpu.state.reg(1) << 8 | cpu.state.reg(0)) == 0x2000

@@ -1,0 +1,169 @@
+"""Control-flow semantics: branches, skips, calls, jumps."""
+
+import pytest
+
+from repro.sim import AvrCpu, ProgramEnd
+
+
+def run(asm, max_steps=1000, **init_regs):
+    cpu = AvrCpu(asm)
+    for name, value in init_regs.items():
+        cpu.state.set_reg(int(name[1:]), value)
+    cpu.run(max_steps=max_steps)
+    return cpu
+
+
+class TestBranches:
+    def test_breq_taken(self):
+        cpu = run("cp r0, r1\nbreq skip\nldi r16, 1\nskip: ldi r17, 2",
+                  r0=5, r1=5)
+        assert cpu.state.reg(16) == 0
+        assert cpu.state.reg(17) == 2
+
+    def test_breq_not_taken(self):
+        cpu = run("cp r0, r1\nbreq skip\nldi r16, 1\nskip: ldi r17, 2",
+                  r0=5, r1=6)
+        assert cpu.state.reg(16) == 1
+
+    def test_taken_branch_costs_extra_cycle(self):
+        cpu_taken = run("sec\nbrcs end\nend: nop")
+        cpu_not = run("clc\nbrcs end\nend: nop")
+        assert cpu_taken.cycle_count == cpu_not.cycle_count + 1
+
+    def test_loop_counts(self):
+        cpu = run("ldi r16, 5\nloop: dec r16\nbrne loop")
+        assert cpu.state.reg(16) == 0
+
+    def test_brge_brlt_signed(self):
+        cpu = run("cp r0, r1\nbrge ge\nldi r16, 1\nrjmp end\nge: ldi r16, 2\nend: nop",
+                  r0=0xFF, r1=0x01)  # -1 < 1 signed
+        assert cpu.state.reg(16) == 1
+
+    def test_all_sreg_branch_aliases_execute(self):
+        # Each alias must decode + execute without error in both states.
+        for name in ("breq", "brne", "brcs", "brcc", "brmi", "brpl", "brvs",
+                     "brvc", "brlt", "brge", "brhs", "brhc", "brts", "brtc",
+                     "brie", "brid"):
+            run(f"{name} .+0\nnop")
+
+
+class TestSkips:
+    def test_cpse_skips_when_equal(self):
+        cpu = run("cpse r0, r1\nldi r16, 1\nldi r17, 2", r0=3, r1=3)
+        assert cpu.state.reg(16) == 0
+        assert cpu.state.reg(17) == 2
+
+    def test_cpse_skips_two_word_instruction(self):
+        cpu = run("cpse r0, r1\nlds r16, 0x0100\nldi r17, 2", r0=3, r1=3)
+        assert cpu.state.reg(17) == 2
+        assert cpu.state.reg(16) == 0
+
+    def test_sbrc_sbrs(self):
+        cpu = run("sbrc r0, 0\nldi r16, 1\nsbrs r0, 0\nldi r17, 1", r0=0x01)
+        assert cpu.state.reg(16) == 1  # bit set -> no skip
+        assert cpu.state.reg(17) == 0  # bit set -> skip
+
+    def test_sbic_sbis(self):
+        cpu = AvrCpu("sbic 0x05, 3\nldi r16, 1\nsbis 0x05, 3\nldi r17, 1")
+        cpu.state.io_write(0x05, 0x08)
+        cpu.run()
+        assert cpu.state.reg(16) == 1
+        assert cpu.state.reg(17) == 0
+
+    def test_skipped_event_flagged(self):
+        cpu = AvrCpu("cpse r0, r1\nldi r16, 1\nnop")
+        events = cpu.run()
+        assert events[1].skipped
+        assert events[1].key == "LDI"
+        assert cpu.state.reg(16) == 0
+
+
+class TestJumpsAndCalls:
+    def test_rjmp(self):
+        cpu = run("rjmp over\nldi r16, 1\nover: ldi r17, 2")
+        assert cpu.state.reg(16) == 0 and cpu.state.reg(17) == 2
+
+    def test_jmp_absolute(self):
+        cpu = run("jmp over\nldi r16, 1\nover: ldi r17, 2")
+        assert cpu.state.reg(16) == 0 and cpu.state.reg(17) == 2
+
+    def test_rcall_ret(self):
+        cpu = run(
+            """
+                rcall sub
+                ldi r17, 2
+                break
+            sub:
+                ldi r16, 1
+                ret
+            """
+        )
+        assert cpu.state.reg(16) == 1
+        assert cpu.state.reg(17) == 2
+
+    def test_call_pushes_return_address(self):
+        cpu = AvrCpu("call sub\nbreak\nsub: nop\nbreak")
+        sp0 = cpu.state.sp
+        cpu.step()
+        assert cpu.state.sp == sp0 - 2
+        assert cpu.state.pc == 3
+
+    def test_icall_uses_z(self):
+        cpu = AvrCpu("icall\nbreak\nldi r16, 7\nbreak")
+        cpu.state.z = 2
+        cpu.run()
+        assert cpu.state.reg(16) == 7
+
+    def test_ijmp_uses_z(self):
+        cpu = AvrCpu("ijmp\nbreak\nldi r16, 9\nbreak")
+        cpu.state.z = 2
+        cpu.run()
+        assert cpu.state.reg(16) == 9
+
+    def test_reti_sets_interrupt_flag(self):
+        cpu = AvrCpu("rcall sub\nbreak\nsub: reti")
+        cpu.run()
+        assert cpu.state.flag("I") == 1
+
+    def test_nested_calls(self):
+        cpu = run(
+            """
+                rcall a
+                break
+            a:  rcall b
+                inc r16
+                ret
+            b:  inc r16
+                ret
+            """
+        )
+        assert cpu.state.reg(16) == 2
+
+
+class TestCpuLifecycle:
+    def test_program_end_raised(self):
+        cpu = AvrCpu("nop")
+        cpu.step()
+        with pytest.raises(ProgramEnd):
+            cpu.step()
+
+    def test_break_halts(self):
+        cpu = AvrCpu("break\nldi r16, 1")
+        cpu.run()
+        assert cpu.state.reg(16) == 0
+        assert cpu.halted
+
+    def test_run_max_steps(self):
+        cpu = AvrCpu("loop: rjmp loop")
+        events = cpu.run(max_steps=10)
+        assert len(events) == 10
+
+    def test_cycle_count_accumulates(self):
+        cpu = AvrCpu("nop\nnop\nlds r0, 0x100")
+        cpu.run()
+        assert cpu.cycle_count == 1 + 1 + 2
+
+    def test_program_from_words(self):
+        cpu = AvrCpu([0x0000, 0xE010])  # nop; ldi r17, 0
+        cpu.run()
+        assert cpu.state.pc == 2

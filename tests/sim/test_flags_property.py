@@ -1,0 +1,138 @@
+"""Property tests: SREG flag semantics against independent reference math.
+
+Each property recomputes the expected flags from plain Python integer
+arithmetic (per the AVR instruction set manual's formulas) and checks the
+simulator agrees, over hypothesis-driven operand sweeps.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import AvrCpu
+
+BYTE = st.integers(0, 255)
+
+
+def run_one(line, **regs):
+    cpu = AvrCpu(line)
+    for name, value in regs.items():
+        if name == "carry":
+            cpu.state.set_flag("C", value)
+        else:
+            cpu.state.set_reg(int(name[1:]), value)
+    cpu.run()
+    return cpu.state
+
+
+@settings(max_examples=200, deadline=None)
+@given(BYTE, BYTE)
+def test_property_add_flags(rd, rr):
+    state = run_one("add r0, r1", r0=rd, r1=rr)
+    total = rd + rr
+    res = total & 0xFF
+    assert state.reg(0) == res
+    assert state.flag("C") == (total > 0xFF)
+    assert state.flag("Z") == (res == 0)
+    assert state.flag("N") == (res >> 7)
+    assert state.flag("H") == (((rd & 0xF) + (rr & 0xF)) > 0xF)
+    # signed overflow
+    signed = ((rd ^ 0x80) - 0x80) + ((rr ^ 0x80) - 0x80)
+    assert state.flag("V") == (not (-128 <= signed <= 127))
+    assert state.flag("S") == state.flag("N") ^ state.flag("V")
+
+
+@settings(max_examples=200, deadline=None)
+@given(BYTE, BYTE, st.booleans())
+def test_property_sbc_value_and_carry(rd, rr, carry):
+    state = run_one("sbc r0, r1", r0=rd, r1=rr, carry=carry)
+    assert state.reg(0) == (rd - rr - carry) & 0xFF
+    assert state.flag("C") == (rd < rr + carry)
+
+
+@settings(max_examples=200, deadline=None)
+@given(BYTE, BYTE)
+def test_property_cp_leaves_registers(rd, rr):
+    state = run_one("cp r0, r1", r0=rd, r1=rr)
+    assert state.reg(0) == rd
+    assert state.reg(1) == rr
+    assert state.flag("Z") == (rd == rr)
+    assert state.flag("C") == (rd < rr)
+
+
+@settings(max_examples=150, deadline=None)
+@given(BYTE)
+def test_property_com_neg_identities(rd):
+    com = run_one("com r0", r0=rd)
+    assert com.reg(0) == (0xFF ^ rd)
+    assert com.flag("C") == 1
+    neg = run_one("neg r0", r0=rd)
+    assert neg.reg(0) == (-rd) & 0xFF
+    assert neg.flag("C") == (rd != 0)
+    assert neg.flag("Z") == (rd == 0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(BYTE, st.booleans())
+def test_property_ror_rol_inverse(rd, carry):
+    """ROL then ROR (or vice versa) restores the register and carry."""
+    cpu = AvrCpu("rol r0\nror r0")
+    cpu.state.set_reg(0, rd)
+    cpu.state.set_flag("C", carry)
+    cpu.run()
+    assert cpu.state.reg(0) == rd
+    assert cpu.state.flag("C") == carry
+
+
+@settings(max_examples=150, deadline=None)
+@given(BYTE)
+def test_property_swap_involution(rd):
+    cpu = AvrCpu("swap r0\nswap r0")
+    cpu.state.set_reg(0, rd)
+    cpu.run()
+    assert cpu.state.reg(0) == rd
+
+
+@settings(max_examples=150, deadline=None)
+@given(BYTE, BYTE)
+def test_property_sub_subi_agree(rd, k):
+    """SUB with a register equals SUBI with the same constant."""
+    by_reg = run_one("sub r16, r0", r16=rd, r0=k)
+    by_imm = run_one(f"subi r16, {k}", r16=rd)
+    assert by_reg.reg(16) == by_imm.reg(16)
+    assert by_reg.sreg == by_imm.sreg
+
+
+@settings(max_examples=150, deadline=None)
+@given(BYTE, BYTE)
+def test_property_16bit_add_chain(lo, hi):
+    """ADD/ADC chain computes a correct 16-bit sum."""
+    cpu = AvrCpu("add r0, r2\nadc r1, r3")
+    value = (hi << 8) | lo
+    add = 0x0101  # r3:r2
+    cpu.state.set_reg(0, lo)
+    cpu.state.set_reg(1, hi)
+    cpu.state.set_reg(2, add & 0xFF)
+    cpu.state.set_reg(3, add >> 8)
+    cpu.run()
+    result = (cpu.state.reg(1) << 8) | cpu.state.reg(0)
+    assert result == (value + add) & 0xFFFF
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 0xFFFF), st.integers(0, 63))
+def test_property_adiw_sbiw_inverse(word, k):
+    cpu = AvrCpu(f"adiw r24, {k}\nsbiw r24, {k}")
+    cpu.state.set_reg_pair(24, word)
+    cpu.run()
+    assert cpu.state.reg_pair(24) == word
+
+
+@settings(max_examples=100, deadline=None)
+@given(BYTE, st.integers(0, 7))
+def test_property_bst_bld_copy_bit(value, bit):
+    cpu = AvrCpu(f"bst r0, {bit}\nbld r1, {bit}")
+    cpu.state.set_reg(0, value)
+    cpu.state.set_reg(1, 0x00)
+    cpu.run()
+    assert (cpu.state.reg(1) >> bit) & 1 == (value >> bit) & 1

@@ -1,0 +1,114 @@
+"""Load/store, I/O and bit-instruction semantics."""
+
+from repro.sim import AvrCpu
+
+
+def make(asm):
+    return AvrCpu(asm)
+
+
+class TestDirectAndIndirect:
+    def test_lds_sts(self):
+        cpu = make("ldi r16, 0x42\nsts 0x0123, r16\nlds r17, 0x0123")
+        cpu.run()
+        assert cpu.state.reg(17) == 0x42
+
+    def test_ld_x_modes(self):
+        cpu = make("st X+, r0\nst X+, r1\nld r16, -X\nld r17, -X")
+        cpu.state.set_reg(0, 0xAA)
+        cpu.state.set_reg(1, 0xBB)
+        cpu.state.x = 0x0200
+        cpu.run()
+        assert cpu.state.reg(16) == 0xBB
+        assert cpu.state.reg(17) == 0xAA
+        assert cpu.state.x == 0x0200
+
+    def test_ld_y_displacement(self):
+        cpu = make("std Y+5, r2\nldd r16, Y+5")
+        cpu.state.set_reg(2, 0x7E)
+        cpu.state.y = 0x0300
+        cpu.run()
+        assert cpu.state.reg(16) == 0x7E
+        assert cpu.state.y == 0x0300  # displacement does not move Y
+
+    def test_ld_z_plain(self):
+        cpu = make("st Z, r3\nld r16, Z")
+        cpu.state.set_reg(3, 0x11)
+        cpu.state.z = 0x0400
+        cpu.run()
+        assert cpu.state.reg(16) == 0x11
+
+    def test_pointer_wraps_16bit(self):
+        cpu = make("ld r16, -X")
+        cpu.state.x = 0
+        cpu.run()
+        assert cpu.state.x == 0xFFFF
+
+
+class TestStack:
+    def test_push_pop_pair(self):
+        cpu = make("push r0\npush r1\npop r16\npop r17")
+        cpu.state.set_reg(0, 1)
+        cpu.state.set_reg(1, 2)
+        cpu.run()
+        assert cpu.state.reg(16) == 2
+        assert cpu.state.reg(17) == 1
+
+
+class TestProgramMemory:
+    def test_lpm_reads_flash_bytes(self):
+        # flash word 3 = 0xBBAA; LPM is byte-addressed little-endian.
+        # 0x9105 = lpm r16, Z+ ; 0x9115 = lpm r17, Z+ ; 0x9598 = break
+        cpu = AvrCpu([0x9105, 0x9115, 0x9598, 0xBBAA])
+        cpu.state.z = 6  # byte address of word 3
+        cpu.run()
+        assert cpu.state.reg(16) == 0xAA
+        assert cpu.state.reg(17) == 0xBB
+        assert cpu.state.z == 8
+
+    def test_lpm_r0_implied(self):
+        cpu = AvrCpu([0x95C8, 0x9598, 0x1234])  # lpm ; break ; data
+        cpu.state.z = 4
+        cpu.run()
+        assert cpu.state.reg(0) == 0x34
+
+
+class TestIo:
+    def test_in_out(self):
+        cpu = make("ldi r16, 0x5A\nout 0x12, r16\nin r17, 0x12")
+        cpu.run()
+        assert cpu.state.reg(17) == 0x5A
+
+    def test_sbi_cbi(self):
+        cpu = make("sbi 0x05, 3\nsbi 0x05, 0\ncbi 0x05, 3")
+        cpu.run()
+        assert cpu.state.io_read(0x05) == 0x01
+
+
+class TestBitInstructions:
+    def test_bst_bld(self):
+        cpu = make("bst r0, 7\nbld r16, 0")
+        cpu.state.set_reg(0, 0x80)
+        cpu.run()
+        assert cpu.state.flag("T") == 1
+        assert cpu.state.reg(16) == 1
+
+    def test_bld_clears_when_t_zero(self):
+        cpu = make("clt\nbld r16, 2")
+        cpu.state.set_reg(16, 0xFF)
+        cpu.run()
+        assert cpu.state.reg(16) == 0xFB
+
+    def test_bset_bclr_all_flags(self):
+        cpu = make("\n".join(f"bset {s}" for s in range(8)))
+        cpu.run()
+        assert cpu.state.sreg == 0xFF
+        cpu2 = make("\n".join(f"bclr {s}" for s in range(8)))
+        cpu2.state.sreg = 0xFF
+        cpu2.run()
+        assert cpu2.state.sreg == 0x00
+
+    def test_sreg_aliases(self):
+        cpu = make("sec\nsez\nsen\nsev\nses\nseh\nset\nsei")
+        cpu.run()
+        assert cpu.state.sreg == 0xFF

@@ -1,0 +1,91 @@
+"""Tests for the architectural state container."""
+
+from repro.sim.state import CpuState, DATA_SPACE_SIZE, IO_BASE, RAMEND, SRAM_START
+
+
+class TestRegisters:
+    def test_reg_read_write_wraps(self):
+        state = CpuState()
+        state.set_reg(5, 0x1FF)
+        assert state.reg(5) == 0xFF
+
+    def test_reg_pair(self):
+        state = CpuState()
+        state.set_reg_pair(26, 0xBEEF)
+        assert state.reg(26) == 0xEF
+        assert state.reg(27) == 0xBE
+        assert state.reg_pair(26) == 0xBEEF
+
+    def test_pointer_properties(self):
+        state = CpuState()
+        state.x, state.y, state.z = 0x0111, 0x0222, 0x0333
+        assert (state.x, state.y, state.z) == (0x0111, 0x0222, 0x0333)
+        assert state.reg(30) == 0x33 and state.reg(31) == 0x03
+
+    def test_registers_are_data_space(self):
+        state = CpuState()
+        state.set_reg(4, 0xAA)
+        assert state.load(4) == 0xAA
+
+
+class TestSregAndSp:
+    def test_sp_initialized_to_ramend(self):
+        assert CpuState().sp == RAMEND
+
+    def test_sp_io_mapped(self):
+        state = CpuState()
+        state.sp = 0x0456
+        assert state.io_read(0x3D) == 0x56
+        assert state.io_read(0x3E) == 0x04
+
+    def test_sreg_io_mapped(self):
+        state = CpuState()
+        state.set_flag("C", 1)
+        state.set_flag("Z", 1)
+        assert state.io_read(0x3F) == 0b00000011
+
+    def test_flag_accessors(self):
+        state = CpuState()
+        for name in "CZNVSHTI":
+            state.set_flag(name, 1)
+            assert state.flag(name) == 1
+            state.set_flag(name, 0)
+            assert state.flag(name) == 0
+
+    def test_set_flags_bulk(self):
+        state = CpuState()
+        state.set_flags(C=1, Z=0, N=1)
+        assert state.flag("C") == 1 and state.flag("N") == 1
+
+
+class TestMemory:
+    def test_io_addressing_offset(self):
+        state = CpuState()
+        state.io_write(0x05, 0x42)
+        assert state.load(IO_BASE + 0x05) == 0x42
+
+    def test_load_store_wraps_data_space(self):
+        state = CpuState()
+        state.store(DATA_SPACE_SIZE + 3, 7)
+        assert state.load(3) == 7
+
+    def test_stack_push_pop(self):
+        state = CpuState()
+        sp0 = state.sp
+        state.push_byte(0x11)
+        state.push_byte(0x22)
+        assert state.sp == sp0 - 2
+        assert state.pop_byte() == 0x22
+        assert state.pop_byte() == 0x11
+        assert state.sp == sp0
+
+    def test_snapshot_regs(self):
+        state = CpuState()
+        state.set_reg(0, 9)
+        snap = state.snapshot_regs()
+        assert snap[0] == 9 and len(snap) == 32
+        state.set_reg(0, 1)
+        assert snap[0] == 9  # copy, not view
+
+    def test_sram_start_constant(self):
+        assert SRAM_START == 0x0100

@@ -6,11 +6,13 @@ These benchmarks measure our pipeline's classification latency per window
 and the substrate's capture throughput.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import SideChannelDisassembler
-from repro.dsp import CWT
+from repro.dsp import CWT, get_cwt
 from repro.features import FeatureConfig
 from repro.ml import QDA
 from repro.power import Acquisition, PowerModel
@@ -48,6 +50,56 @@ def test_cwt_full_plane_throughput(benchmark):
     assert images.shape == (64, 50, 315)
 
 
+def test_cwt_full_plane_chunked_throughput(benchmark):
+    """Full-plane CWT under a tight (1 MiB) chunking budget.
+
+    Chunking never changes results; this guards the cost of running with
+    a constrained memory budget against the unconstrained case above.
+    """
+    rng = np.random.default_rng(0)
+    traces = rng.normal(0, 1, (64, 315)).astype(np.float32)
+    cwt = get_cwt(315)
+    images = benchmark(lambda: cwt.transform(traces, max_mem_mb=1))
+    assert images.shape == (64, 50, 315)
+
+
+def test_cwt_points_throughput(benchmark):
+    """Selected-point evaluation (the per-window classification cost)."""
+    rng = np.random.default_rng(0)
+    traces = rng.normal(0, 1, (64, 315)).astype(np.float32)
+    cwt = get_cwt(315)
+    points = [(j, int(k)) for j in (0, 7, 21, 35, 49)
+              for k in np.linspace(0, 314, 41)]
+    values = benchmark(lambda: cwt.transform_points(traces, points))
+    assert values.shape == (64, len(points))
+
+
+def test_capture_class_serial_throughput(benchmark):
+    """End-to-end capture of one class, serial (assemble→sim→render→digitize)."""
+    acq = Acquisition(seed=88)
+    acq.reference_window()
+    windows = benchmark(
+        lambda: acq.capture_class("ADC", 64, n_programs=4, n_jobs=1)[0]
+    )
+    assert windows.shape[0] == 64
+
+
+def test_capture_class_parallel_throughput(benchmark):
+    """Same capture on the worker pool (REPRO_BENCH_JOBS, default 2).
+
+    Output is bit-identical to the serial case; on a single-core host the
+    pool only adds overhead, so compare against the serial number above
+    with the host's core count in mind.
+    """
+    n_jobs = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
+    acq = Acquisition(seed=88, n_jobs=n_jobs)
+    acq.reference_window()
+    windows = benchmark(
+        lambda: acq.capture_class("ADC", 64, n_programs=4)[0]
+    )
+    assert windows.shape[0] == 64
+
+
 def test_simulator_throughput(benchmark):
     """Simulated instructions per second (capture-time cost)."""
     program = "\n".join(["add r1, r2", "eor r3, r4", "lds r5, 0x0100"] * 200)
@@ -61,9 +113,18 @@ def test_simulator_throughput(benchmark):
 
 
 def test_render_throughput(benchmark):
-    """Power-trace samples rendered per second."""
+    """Power-trace samples rendered per second (default batched path)."""
     cpu = AvrCpu("\n".join(["add r1, r2"] * 300))
     events = cpu.run()
     model = PowerModel()
     trace = benchmark(lambda: model.render_events(events))
+    assert len(trace) > 300 * 157
+
+
+def test_render_serial_throughput(benchmark):
+    """Reference event-at-a-time renderer, for before/after comparison."""
+    cpu = AvrCpu("\n".join(["add r1, r2"] * 300))
+    events = cpu.run()
+    model = PowerModel()
+    trace = benchmark(lambda: model.render_events_serial(events))
     assert len(trace) > 300 * 157

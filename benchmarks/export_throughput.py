@@ -1,0 +1,68 @@
+"""Export throughput numbers to ``BENCH_throughput.json``.
+
+Usage::
+
+    python -m pytest benchmarks/bench_throughput.py \
+        --benchmark-json=/tmp/bench_raw.json -q
+    python benchmarks/export_throughput.py /tmp/bench_raw.json
+
+The emitted file records, per benchmark, the mean/min wall time of this
+run next to the frozen seed baseline (the per-scale-loop CWT, serial
+capture and event-at-a-time renderer measured on the same class of
+machine before the fast path landed), so every future PR has a perf
+trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Seed-state means (ms), measured with pytest-benchmark on the
+#: reference machine (Intel Xeon @ 2.10GHz, 1 core) at the commit before
+#: the batched fast path.  Benchmarks added alongside the fast path have
+#: no seed counterpart and carry ``None``.
+SEED_BASELINE_MS = {
+    "test_classify_batch_throughput": 76.327,
+    "test_cwt_full_plane_throughput": 68.984,
+    "test_simulator_throughput": 33.540,
+    "test_render_throughput": 12.682,
+}
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def export(raw_path: str, output: Path = OUTPUT) -> dict:
+    raw = json.loads(Path(raw_path).read_text())
+    results = {}
+    for bench in raw["benchmarks"]:
+        name = bench["name"]
+        mean_ms = bench["stats"]["mean"] * 1e3
+        seed_ms = SEED_BASELINE_MS.get(name)
+        results[name] = {
+            "mean_ms": round(mean_ms, 3),
+            "min_ms": round(bench["stats"]["min"] * 1e3, 3),
+            "seed_mean_ms": seed_ms,
+            "speedup_vs_seed": (
+                round(seed_ms / mean_ms, 2) if seed_ms else None
+            ),
+        }
+    document = {
+        "machine": raw.get("machine_info", {})
+        .get("cpu", {})
+        .get("brand_raw", "unknown"),
+        "benchmarks": results,
+    }
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    return document
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    doc = export(sys.argv[1])
+    for name, row in doc["benchmarks"].items():
+        speedup = row["speedup_vs_seed"]
+        suffix = f"  ({speedup}x vs seed)" if speedup else ""
+        print(f"{name}: {row['mean_ms']} ms{suffix}")

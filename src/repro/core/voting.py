@@ -17,7 +17,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..dsp.cwt import CWT
+from ..dsp.cwt import CWT, get_cwt
 from ..features.pca import PCA
 from ..features.pipeline import FeatureConfig, compute_class_stats
 from ..features.selection import select_pair_points
@@ -106,7 +106,7 @@ class PairwiseVotingClassifier:
         cfg = self.feature_config
         self.label_names = trace_set.label_names
         n_samples = trace_set.n_samples
-        self._cwt = CWT(n_samples, cfg.cwt) if cfg.use_cwt else None
+        self._cwt = get_cwt(n_samples, cfg.cwt) if cfg.use_cwt else None
         stats = compute_class_stats(
             trace_set.traces,
             trace_set.labels,

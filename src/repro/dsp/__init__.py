@@ -1,6 +1,7 @@
 """Signal processing: continuous wavelet transform and preprocessing."""
 
-from .cwt import CWT, CwtConfig, cwt_magnitude
+from . import backend
+from .cwt import CWT, CwtConfig, clear_cwt_cache, cwt_magnitude, get_cwt
 from .preprocess import (
     align_traces,
     remove_dc,
@@ -12,7 +13,10 @@ __all__ = [
     "CWT",
     "CwtConfig",
     "align_traces",
+    "backend",
+    "clear_cwt_cache",
     "cwt_magnitude",
+    "get_cwt",
     "remove_dc",
     "standardize_features",
     "standardize_traces",

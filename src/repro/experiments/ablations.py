@@ -14,7 +14,7 @@ import numpy as np
 
 from ..baselines.flat import FlatDisassembler
 from ..core.hierarchy import SideChannelDisassembler
-from ..dsp.cwt import CWT
+from ..dsp.cwt import get_cwt
 from ..features.pca import PCA
 from ..isa.groups import classification_classes
 from ..ml.discriminant import QDA
@@ -31,7 +31,7 @@ __all__ = ["run_cwt_ablation", "run_selection_ablation", "run_hierarchy_ablation
 def run_cwt_ablation(scale="bench") -> ResultTable:
     """CWT time-frequency features vs raw time-domain points."""
     scale = get_scale(scale)
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     rng = np.random.default_rng(scale.seed + 11)
     keys = classification_classes(1)
     fraction = scale.n_train_per_class / (
@@ -66,7 +66,7 @@ def run_cwt_ablation(scale="bench") -> ResultTable:
 def run_selection_ablation(scale="bench") -> ResultTable:
     """DNVP selection vs variance ranking vs peaks-only selection."""
     scale = get_scale(scale)
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     rng = np.random.default_rng(scale.seed + 12)
     keys = classification_classes(1)
     fraction = scale.n_train_per_class / (
@@ -101,7 +101,7 @@ def run_selection_ablation(scale="bench") -> ResultTable:
         )
 
     # Variance ranking baseline: top-N plane points by pooled variance.
-    cwt = CWT(train.n_samples)
+    cwt = get_cwt(train.n_samples)
     images = np.concatenate(list(cwt.transform_blocks(train.traces, 512)))
     variance = images.var(axis=0)
     flat = np.argsort(variance, axis=None)[::-1][:200]
@@ -126,7 +126,7 @@ def run_selection_ablation(scale="bench") -> ResultTable:
 def run_hierarchy_ablation(scale="bench") -> ResultTable:
     """Hierarchical vs flat classification: SR, machines, wall time."""
     scale = get_scale(scale)
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     rng = np.random.default_rng(scale.seed + 13)
     # Three classes per group: a 24-way problem spanning all groups.
     keys: List[str] = []

@@ -29,7 +29,7 @@ def run(scale="bench", classifier: str = "QDA") -> ResultTable:
     """Regenerate the end-to-end recognition-rate summary."""
     scale = get_scale(scale)
     factory = CLASSIFIERS[classifier]
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     rng = np.random.default_rng(scale.seed + 52)
     fraction = scale.n_train_per_class / (
         scale.n_train_per_class + scale.n_test_per_class

@@ -23,7 +23,7 @@ CLASSES = ("ADC", "AND", "LDS", "RJMP")
 def run(scale="bench") -> ResultTable:
     """Regenerate Fig. 1's flow as a stage/dimension table."""
     scale = get_scale(scale)
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     train = acq.capture_instruction_set(
         list(CLASSES), scale.n_train_per_class, scale.n_programs
     )

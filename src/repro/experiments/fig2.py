@@ -14,7 +14,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from ..dsp.cwt import CWT
+from ..dsp.cwt import get_cwt
 from ..features.kl import WaveletStats, within_class_kl
 from ..features.selection import select_pair_points
 from ..power.acquisition import Acquisition
@@ -43,11 +43,11 @@ class Fig2Fields:
 def run(scale="bench", kl_threshold="auto") -> Tuple[ResultTable, Fig2Fields]:
     """Regenerate the Fig. 2 feature-point extraction for ADC vs AND."""
     scale = get_scale(scale)
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     trace_set = acq.capture_instruction_set(
         list(PAIR), scale.n_train_per_class, scale.n_programs
     )
-    cwt = CWT(trace_set.n_samples)
+    cwt = get_cwt(trace_set.n_samples)
     stats = {}
     for key in PAIR:
         rows = trace_set.class_indices(key)

@@ -17,7 +17,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from ..dsp.cwt import CWT
+from ..dsp.cwt import get_cwt
 from ..features.kl import WaveletStats, between_class_kl, within_class_kl
 from ..features.selection import local_maxima_2d
 from ..power.acquisition import Acquisition
@@ -51,13 +51,13 @@ def program_separation(values: np.ndarray, program_ids: np.ndarray) -> float:
 def run(scale="bench") -> Tuple[ResultTable, Dict[str, np.ndarray]]:
     """Regenerate Fig. 3's contrast for the AND instruction."""
     scale = get_scale(scale)
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     # AND traces from two program files, plus ADC as the contrast class
     # whose between-KL field ranks the peaks.
     trace_set = acq.capture_instruction_set(
         ["ADC", "AND"], scale.n_train_per_class, 2
     )
-    cwt = CWT(trace_set.n_samples)
+    cwt = get_cwt(trace_set.n_samples)
     stats = {}
     for key in ("ADC", "AND"):
         rows = trace_set.class_indices(key)

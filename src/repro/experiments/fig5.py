@@ -60,7 +60,7 @@ def run(scale="bench", classifier_names=None) -> Dict[str, ResultTable]:
     """
     scale = get_scale(scale)
     names = list(classifier_names or CLASSIFIERS)
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     rng = np.random.default_rng(scale.seed)
     fraction = scale.n_train_per_class / (
         scale.n_train_per_class + scale.n_test_per_class

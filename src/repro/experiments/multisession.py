@@ -62,7 +62,7 @@ def run(scale="bench") -> ResultTable:
     sessions = []
     for index, session in enumerate(PROFILING_SESSIONS):
         acq = Acquisition(
-            seed=scale.seed + 10 * index, session=session
+            seed=scale.seed + 10 * index, session=session, n_jobs=scale.n_jobs
         )
         captured = acq.capture_instruction_set(
             list(CLASS_PAIR), n_per_session, n_programs

@@ -46,7 +46,7 @@ def run(scale="bench", classifier: str = "QDA") -> ResultTable:
     """Regenerate the sampling-rate sweep (extension of §5.4)."""
     scale = get_scale(scale)
     factory = CLASSIFIERS[classifier]
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     rng = np.random.default_rng(scale.seed + 54)
     keys = classification_classes(1)
     fraction = scale.n_train_per_class / (

@@ -32,6 +32,9 @@ class Scale:
             heavy end-to-end experiment (None = all 112).
         n_devices: target devices for Table 4 (paper: 5).
         seed: base acquisition seed.
+        n_jobs: capture worker count handed to :class:`Acquisition`
+            (``None`` → ``REPRO_N_JOBS`` → serial; ``<= 0`` → all
+            cores).  Captures are bit-identical for any value.
     """
 
     name: str
@@ -46,6 +49,7 @@ class Scale:
     classes_per_group_cap: Optional[int]
     n_devices: int
     seed: int = 2018
+    n_jobs: Optional[int] = None
 
     def with_overrides(self, **kwargs) -> "Scale":
         """Copy with fields replaced."""

@@ -30,7 +30,7 @@ PARAM_GRID = {
 def run(scale="bench") -> ResultTable:
     """Grid-search the SVM on group-1 features (paper §5.2)."""
     scale = get_scale(scale)
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     rng = np.random.default_rng(scale.seed + 9)
     keys = classification_classes(1)
     fraction = scale.n_train_per_class / (

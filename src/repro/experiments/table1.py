@@ -36,7 +36,7 @@ LITERATURE = [
 def run(scale="bench") -> ResultTable:
     """Regenerate Table 1's measured comparison on the simulated bench."""
     scale = get_scale(scale)
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     rng = np.random.default_rng(scale.seed + 1)
     keys = classification_classes(1)
     fraction = scale.n_train_per_class / (

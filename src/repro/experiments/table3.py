@@ -40,7 +40,7 @@ DEPLOYMENT_SESSION = SessionShift(
 def run(scale="bench", session: SessionShift = DEPLOYMENT_SESSION) -> ResultTable:
     """Regenerate Table 3."""
     scale = get_scale(scale)
-    acq = Acquisition(seed=scale.seed)
+    acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
     train_no_csa = acq.capture_instruction_set(
         list(CLASS_PAIR), scale.n_train_per_class, max(scale.n_programs - 1, 2)
     )

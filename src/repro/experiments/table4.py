@@ -37,7 +37,7 @@ def run(scale="bench", device_seed: int = 7) -> ResultTable:
     """Regenerate Table 4."""
     scale = get_scale(scale)
     train_device, targets = make_devices(scale.n_devices, seed=device_seed)
-    acq = Acquisition(device=train_device, seed=scale.seed)
+    acq = Acquisition(device=train_device, seed=scale.seed, n_jobs=scale.n_jobs)
     train = acq.capture_instruction_set(
         list(CLASS_PAIR), scale.csa_train_per_class, scale.csa_programs
     )

@@ -19,6 +19,7 @@ from .scales import Scale
 
 __all__ = [
     "group_pool",
+    "GroupSampler",
     "capture_group_set",
     "capture_group_instruction_set",
     "capture_register_sets",
@@ -31,6 +32,21 @@ __all__ = [
 def group_pool(group: int) -> List[str]:
     """Group-level profiling pool (cross-group duplicates removed)."""
     return classification_classes(group, exclude_cross_group=True)
+
+
+class GroupSampler:
+    """Picklable target sampler drawing uniformly from a class pool.
+
+    Module-level (not a closure) so group captures can run on the
+    acquisition worker pool.
+    """
+
+    def __init__(self, pool: Sequence[str]):
+        self.pool = tuple(pool)
+
+    def __call__(self, rng: np.random.Generator, word_address: int):
+        key = str(rng.choice(list(self.pool)))
+        return random_instance(key, rng, word_address=word_address)
 
 
 def group_classes(group: int, scale: Scale) -> List[str]:
@@ -50,14 +66,9 @@ def capture_group_set(
     program_ids: List[np.ndarray] = []
     names = tuple(f"G{g}" for g in range(1, 9))
     for code, group in enumerate(range(1, 9)):
-        pool = group_pool(group)
-
-        def sampler(rng, address, _pool=pool):
-            key = str(rng.choice(_pool))
-            return random_instance(key, rng, word_address=address)
-
+        sampler = GroupSampler(group_pool(group))
         windows, pids = acq.capture_class(
-            pool[0],
+            sampler.pool[0],
             n_per_group,
             n_programs,
             label_override=names[code],

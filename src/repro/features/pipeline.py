@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..dsp.cwt import CWT, CwtConfig
+from ..dsp.cwt import CWT, CwtConfig, get_cwt
 from .kl import WaveletStats
 from .pca import PCA
 from .selection import DnvpSelector, Point
@@ -195,7 +195,9 @@ class FeaturePipeline:
         traces = np.asarray(traces)
         self._n_samples = traces.shape[1]
         if self.config.use_cwt:
-            self._cwt = CWT(self._n_samples, self.config.cwt)
+            # Shared cached operator: every pipeline fitted on the same
+            # geometry reuses one set of precomputed response matrices.
+            self._cwt = get_cwt(self._n_samples, self.config.cwt)
         stats = self.class_statistics(traces, labels, program_ids, label_names)
         self.selector = DnvpSelector(
             kl_threshold=self.config.kl_threshold, top_k=self.config.top_k

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..dsp.cwt import CWT, CwtConfig
+from ..dsp.cwt import CwtConfig, get_cwt
 from ..power.dataset import TraceSet
 
 __all__ = ["snr_field", "snr_report"]
@@ -61,7 +61,7 @@ def snr_report(
         and the fraction of points with SNR above 1 (``exploitable``).
     """
     if use_cwt:
-        operator = CWT(trace_set.n_samples, cwt_config)
+        operator = get_cwt(trace_set.n_samples, cwt_config)
         values = np.concatenate(
             list(operator.transform_blocks(trace_set.traces, 512))
         )

@@ -26,6 +26,7 @@ from ..isa.assembler import Instruction
 from ..isa.groups import classification_classes
 from ..sim.cpu import AvrCpu
 from ..sim.state import SRAM_START
+from ..util.parallel import parallel_map
 from .config import DEFAULT_GEOMETRY, PowerModelConfig, TraceGeometry
 from .dataset import TraceSet
 from .device import DeviceProfile, ProgramShift, SessionShift
@@ -35,6 +36,7 @@ from .scope import Oscilloscope
 __all__ = [
     "Acquisition",
     "ProgramCapture",
+    "RegisterSampler",
     "random_instance",
     "default_neighbor_pool",
     "make_devices",
@@ -179,6 +181,59 @@ def make_devices(
     return train, targets
 
 
+class RegisterSampler:
+    """Picklable target sampler for register profiling (paper §5.3).
+
+    Draws a random instruction from ``pool`` with operand
+    ``operand_index`` pinned to ``reg``.  A module-level class (rather
+    than a closure) so capture tasks can ship to worker processes.
+    """
+
+    def __init__(self, operand_index: int, reg: int, pool: Sequence[str]):
+        self.operand_index = int(operand_index)
+        self.reg = int(reg)
+        self.pool = tuple(pool)
+
+    def __call__(
+        self, rng: np.random.Generator, word_address: int
+    ) -> Instruction:
+        key = str(rng.choice(list(self.pool)))
+        return random_instance(
+            key,
+            rng,
+            word_address=word_address,
+            fixed={self.operand_index: self.reg},
+        )
+
+
+class _FileCaptureTask:
+    """Picklable per-program-file capture job for the worker pool.
+
+    Each call captures one program file.  All randomness derives from
+    ``Acquisition._rng("class", label, "file", file_index)`` — already
+    independent per file — so the result depends only on the task, never
+    on the worker that ran it.
+    """
+
+    def __init__(self, acquisition, class_key, label, fixed, target_sampler):
+        self.acquisition = acquisition
+        self.class_key = class_key
+        self.label = label
+        self.fixed = dict(fixed) if fixed else None
+        self.target_sampler = target_sampler
+
+    def __call__(self, task: Tuple[int, int]) -> np.ndarray:
+        file_index, count = task
+        return self.acquisition._capture_class_file(
+            self.class_key,
+            self.label,
+            self.fixed,
+            self.target_sampler,
+            file_index,
+            count,
+        )
+
+
 @dataclass
 class ProgramCapture:
     """A captured full-program power trace, windowed per instruction."""
@@ -204,6 +259,10 @@ class Acquisition:
         program_shift: sample per-program-file covariate shift (paper §4).
         session: measurement-session drift applied to every capture.
         reference_subtraction: subtract the averaged SBI/NOP/CBI reference.
+        n_jobs: default worker count for capture methods (``None`` →
+            ``REPRO_N_JOBS`` → serial).  Program files are partitioned by
+            their already-derived per-file sub-seeds, so any worker count
+            produces bit-for-bit identical traces.
     """
 
     def __init__(
@@ -217,6 +276,7 @@ class Acquisition:
         program_shift: bool = True,
         session: Optional[SessionShift] = None,
         reference_subtraction: bool = True,
+        n_jobs: Optional[int] = None,
     ) -> None:
         self.config = config if config is not None else PowerModelConfig()
         self.device = device if device is not None else DeviceProfile()
@@ -235,6 +295,7 @@ class Acquisition:
         self.program_shift = program_shift
         self.session = session if session is not None else SessionShift()
         self.reference_subtraction = reference_subtraction
+        self.n_jobs = n_jobs
         self._reference: Optional[np.ndarray] = None
 
     # -- seeding -------------------------------------------------------------
@@ -357,6 +418,31 @@ class Acquisition:
             self._reference = windows.mean(axis=0)
         return self._reference
 
+    def _capture_class_file(
+        self,
+        class_key: str,
+        label: str,
+        fixed: Optional[Mapping[int, int]],
+        target_sampler,
+        file_index: int,
+        count: int,
+    ) -> np.ndarray:
+        """Capture one program file's windows (the per-file unit of work)."""
+        rng = self._rng("class", label, "file", file_index)
+        shift = ProgramShift.sample(rng) if self.program_shift else None
+        instructions, targets = self._build_segments(
+            rng,
+            n_segments=count,
+            target_key=class_key,
+            fixed=fixed,
+            target_sampler=target_sampler,
+        )
+        trace = self._capture_program(instructions, rng, shift)
+        windows = self._windows(trace, targets, rng)
+        if self.reference_subtraction:
+            windows = windows - self.reference_window()
+        return windows
+
     def capture_class(
         self,
         class_key: str,
@@ -366,8 +452,13 @@ class Acquisition:
         label_override: Optional[str] = None,
         target_sampler=None,
         program_id_offset: int = 0,
+        n_jobs: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Capture ``n_traces`` of one class across ``n_programs`` files.
+
+        Files are independent work items (each owns a derived sub-seed),
+        captured serially or on a process pool (``n_jobs``); the result
+        is bit-for-bit identical either way.
 
         Returns:
             ``(windows, program_ids)`` arrays.
@@ -375,29 +466,22 @@ class Acquisition:
         per_file = [n_traces // n_programs] * n_programs
         for i in range(n_traces - sum(per_file)):
             per_file[i] += 1
-        reference = (
-            self.reference_window() if self.reference_subtraction else None
-        )
+        if self.reference_subtraction:
+            # Materialize the cached reference BEFORE tasks are pickled,
+            # so workers reuse it instead of each re-deriving it.
+            self.reference_window()
         label = label_override if label_override is not None else class_key
-        all_windows: List[np.ndarray] = []
+        tasks = [
+            (file_index, count)
+            for file_index, count in enumerate(per_file)
+            if count > 0
+        ]
+        run = _FileCaptureTask(self, class_key, label, fixed, target_sampler)
+        all_windows = parallel_map(
+            run, tasks, n_jobs=n_jobs if n_jobs is not None else self.n_jobs
+        )
         program_ids: List[int] = []
-        for file_index, count in enumerate(per_file):
-            if count == 0:
-                continue
-            rng = self._rng("class", label, "file", file_index)
-            shift = ProgramShift.sample(rng) if self.program_shift else None
-            instructions, targets = self._build_segments(
-                rng,
-                n_segments=count,
-                target_key=class_key,
-                fixed=fixed,
-                target_sampler=target_sampler,
-            )
-            trace = self._capture_program(instructions, rng, shift)
-            windows = self._windows(trace, targets, rng)
-            if reference is not None:
-                windows = windows - reference
-            all_windows.append(windows)
+        for (file_index, count), _ in zip(tasks, all_windows):
             program_ids.extend([program_id_offset + file_index] * count)
         return np.concatenate(all_windows), np.array(program_ids)
 
@@ -406,13 +490,16 @@ class Acquisition:
         class_keys: Sequence[str],
         n_per_class: int,
         n_programs: int = 10,
+        n_jobs: Optional[int] = None,
     ) -> TraceSet:
         """Capture a labelled instruction-classification dataset."""
         traces: List[np.ndarray] = []
         labels: List[int] = []
         program_ids: List[np.ndarray] = []
         for code, key in enumerate(class_keys):
-            windows, pids = self.capture_class(key, n_per_class, n_programs)
+            windows, pids = self.capture_class(
+                key, n_per_class, n_programs, n_jobs=n_jobs
+            )
             traces.append(windows)
             labels.extend([code] * len(windows))
             program_ids.append(pids)
@@ -432,6 +519,7 @@ class Acquisition:
         n_per_class: int,
         n_programs: int = 10,
         instruction_pool: Optional[Sequence[str]] = None,
+        n_jobs: Optional[int] = None,
     ) -> TraceSet:
         """Capture a register-identification dataset (paper §5.3).
 
@@ -467,19 +555,14 @@ class Acquisition:
                     f"no instruction in the pool accepts {role}=r{reg}"
                 )
 
-            def sampler(rng, address, _reg=reg, _pool=compatible):
-                key = str(rng.choice(_pool))
-                return random_instance(
-                    key, rng, word_address=address,
-                    fixed={operand_index: _reg},
-                )
-
+            sampler = RegisterSampler(operand_index, reg, compatible)
             windows, pids = self.capture_class(
                 class_key=pool[0],
                 n_traces=n_per_class,
                 n_programs=n_programs,
                 label_override=label_names[code],
                 target_sampler=sampler,
+                n_jobs=n_jobs,
             )
             traces.append(windows)
             labels.extend([code] * len(windows))

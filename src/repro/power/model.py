@@ -23,8 +23,9 @@ per-chip process variation on top.
 
 from __future__ import annotations
 
+import os
 import zlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -247,6 +248,53 @@ class PowerModel:
                 for b in range(8)
             ]
         )
+        self._build_basis()
+
+    def _build_basis(self) -> None:
+        """Register every fixed waveform as a basis row (batched renderer).
+
+        The batched renderer expresses each cycle as a coefficient row
+        against this basis; each row here is *exactly* one array the
+        serial accumulation adds, so both paths sum the same terms.
+        """
+        self._basis_rows: List[np.ndarray] = []
+        self._basis_index: Dict[str, int] = {}
+        self._basis_matrix: Optional[np.ndarray] = None
+
+        def add(key: str, waveform: np.ndarray) -> None:
+            self._basis_index[key] = len(self._basis_rows)
+            self._basis_rows.append(np.asarray(waveform, dtype=np.float64))
+
+        for b in range(16):
+            add(f"decode{b}", self._decode_bank[b])
+        add("fetch_hw", self._env_fetch_hw)
+        add("fetch_hd", self._env_fetch_hd)
+        for port in self._port_row_banks:
+            for line in range(8):
+                add(f"{port}|row{line}", self._port_row_banks[port][line])
+            for line in range(4):
+                add(f"{port}|col{line}", self._port_col_banks[port][line])
+            add(f"{port}|hw", self._port_hw_env[port])
+        for name, waveform in self._components.items():
+            add(f"comp|{name}", waveform)
+        add("op_a", self._env_op_a)
+        add("op_b", self._env_op_b)
+        add("result", self._env_result)
+        add("mem_addr", self._env_mem_addr)
+        add("mem_data", self._env_mem_data)
+        add("word2", self._env_word2)
+        for b in range(8):
+            add(f"sreg{b}", self._sreg_bank[b])
+
+    def _basis_row(self, key: str, factory: Callable[[], np.ndarray]) -> int:
+        """Index of a (possibly dynamic) basis row, appending on first use."""
+        index = self._basis_index.get(key)
+        if index is None:
+            index = len(self._basis_rows)
+            self._basis_index[key] = index
+            self._basis_rows.append(np.asarray(factory(), dtype=np.float64))
+            self._basis_matrix = None
+        return index
 
     def _aluop_signature(self, semantics: str) -> np.ndarray:
         """Per-operation ALU sub-unit signature (adder vs logic vs shifter)."""
@@ -433,15 +481,178 @@ class PowerModel:
             out += self._group_bias(group)
         return out
 
-    # -- public API ------------------------------------------------------------
-    def render_events(self, events: Sequence[ExecEvent]) -> np.ndarray:
-        """Render an executed instruction stream to an analog power trace.
+    # -- batched rendering ---------------------------------------------------
+    def _fetch_coefficients(
+        self, words: Tuple[int, ...], prev_words: Tuple[int, ...]
+    ) -> List[Tuple[int, float]]:
+        """Coefficient terms mirroring :meth:`_fetch_activity`."""
+        if not words:
+            return []
+        cfg = self.config
+        index = self._basis_index
+        word = words[0]
+        terms = [(index["fetch_hw"], cfg.flash_hw_scale * _popcount(word))]
+        if prev_words:
+            transitions = _popcount(word ^ prev_words[-1])
+            terms.append((index["fetch_hd"], cfg.flash_hd_scale * transitions))
+        for b in range(16):
+            if (word >> b) & 1:
+                terms.append((index[f"decode{b}"], 1.0))
+        return terms
 
-        The returned trace has one clock cycle per instruction slot plus a
-        leading and trailing pad cycle, so that
-        ``trace[i * spc : i * spc + window]`` is the profiling window of
-        instruction ``i`` (fetch/decode cycle + execute cycle).
+    def _port_coefficients(
+        self, port: str, reg: int
+    ) -> List[Tuple[int, float]]:
+        index = self._basis_index
+        return [
+            (index[f"{port}|row{reg % 8}"], 1.0),
+            (index[f"{port}|col{reg // 8}"], 1.0),
+            (index[f"{port}|hw"], float(_popcount(reg))),
+        ]
+
+    def _execute_coefficients(
+        self, event: ExecEvent
+    ) -> List[Tuple[int, float]]:
+        """Coefficient terms mirroring :meth:`_execute_activity`.
+
+        Each ``(row, weight)`` pair corresponds 1:1 to one term the
+        serial path accumulates, so ``coefficients @ basis`` reproduces
+        it up to floating-point summation order.
         """
+        cfg = self.config
+        index = self._basis_index
+        if event.skipped:
+            return [(index["comp|skip"], 0.30)]
+
+        canonical = canonicalize(event.instruction)
+        semantics = canonical.spec.semantics
+        terms: List[Tuple[int, float]] = []
+
+        port_regs = _register_operands(canonical)
+        if port_regs:
+            terms.extend(self._port_coefficients("read_a", port_regs[0]))
+        if len(port_regs) > 1:
+            terms.extend(self._port_coefficients("read_b", port_regs[1]))
+        if event.reads:
+            terms.append((index["comp|regfile_read"], 1.0))
+            for read in event.reads[:2]:
+                terms.append(
+                    (index["op_a"], cfg.data_hw_scale * _popcount(read.value))
+                )
+        if event.writes:
+            terms.append((index["comp|regfile_write"], 1.0))
+            write = event.writes[0]
+            terms.extend(self._port_coefficients("write", write.reg))
+            terms.append(
+                (
+                    index["result"],
+                    cfg.data_hd_scale * _popcount(write.old ^ write.new),
+                )
+            )
+        if event.alu_result is not None or event.alu_operands:
+            terms.append((index["comp|alu"], 1.0))
+            row = self._basis_row(
+                f"aluop|{semantics}", lambda: self._aluop_signature(semantics)
+            )
+            terms.append((row, 1.0))
+            for key, value in zip(("op_a", "op_b"), event.alu_operands):
+                terms.append(
+                    (index[key], cfg.data_hw_scale * _popcount(value))
+                )
+            if event.alu_result is not None:
+                terms.append(
+                    (
+                        index["result"],
+                        cfg.data_hw_scale * _popcount(event.alu_result),
+                    )
+                )
+        for access in event.mem:
+            if access.kind == "load":
+                terms.append((index["comp|mem_load"], 1.0))
+            elif access.kind == "store":
+                terms.append((index["comp|mem_store"], 1.0))
+            elif access.kind == "io":
+                terms.append((index["comp|io"], 1.0))
+            elif access.kind == "flash":
+                terms.append((index["comp|flash_data"], 1.0))
+            terms.append(
+                (
+                    index["mem_addr"],
+                    cfg.data_hw_scale * _popcount(access.address & 0xFF),
+                )
+            )
+            terms.append(
+                (
+                    index["mem_data"],
+                    cfg.data_hw_scale * _popcount(access.value),
+                )
+            )
+        if event.branch_taken is not None:
+            if semantics in _SKIP_SEMANTICS:
+                amp = 1.0 if event.branch_taken else 0.55
+                terms.append((index["comp|skip"], amp))
+            else:
+                amp = 1.0 if event.branch_taken else 0.45
+                terms.append((index["comp|branch"], amp))
+        if semantics in _BIT_SEMANTICS:
+            terms.append((index["comp|bit_unit"], 1.0))
+        toggled = event.sreg_toggled
+        if toggled:
+            for b in range(8):
+                if (toggled >> b) & 1:
+                    terms.append((index[f"sreg{b}"], 1.0))
+        if len(event.opcode_words) > 1:
+            terms.append(
+                (
+                    index["word2"],
+                    cfg.flash_hw_scale * _popcount(event.opcode_words[1]),
+                )
+            )
+        class_key = event.instruction.spec.key
+        row = self._basis_row(
+            f"class|{class_key}", lambda: self._class_bias(class_key)
+        )
+        terms.append((row, 1.0))
+        group = event.instruction.spec.group
+        if group is not None:
+            row = self._basis_row(
+                f"groupbias|{group}", lambda: self._group_bias(group)
+            )
+            terms.append((row, 1.0))
+        return terms
+
+    def _render_events_batched(self, events: Sequence[ExecEvent]) -> np.ndarray:
+        """Vectorized renderer: one coefficient matmul for all cycles."""
+        spc = self._spc
+        n = len(events)
+        # Coefficient pass (may append dynamic basis rows, so the dense
+        # matrix is sized only after all events are visited).
+        per_cycle: List[List[Tuple[int, float]]] = [
+            self._execute_coefficients(event) for event in events
+        ]
+        for i in range(n - 1):
+            per_cycle[i].extend(
+                self._fetch_coefficients(
+                    events[i + 1].opcode_words, events[i].opcode_words
+                )
+            )
+        pad_fetch = (
+            self._fetch_coefficients(events[0].opcode_words, ()) if n else []
+        )
+        if self._basis_matrix is None:
+            self._basis_matrix = np.stack(self._basis_rows)
+        basis = self._basis_matrix
+        coeff = np.zeros((n + 1, basis.shape[0]))
+        for i, terms in enumerate([pad_fetch] + per_cycle):
+            for row, weight in terms:
+                coeff[i, row] += weight
+        trace = np.tile(self._clock, n + 2)
+        trace[: (n + 1) * spc] += (coeff @ basis).ravel()
+        return self.device.gain * trace + self.device.offset
+
+    # -- public API ------------------------------------------------------------
+    def render_events_serial(self, events: Sequence[ExecEvent]) -> np.ndarray:
+        """Reference event-at-a-time renderer (see :meth:`render_events`)."""
         spc = self._spc
         n = len(events)
         trace = np.zeros((n + 2) * spc)
@@ -461,6 +672,32 @@ class PowerModel:
         if n:
             trace[0:spc] += self._fetch_activity(events[0].opcode_words, ())
         return self.device.gain * trace + self.device.offset
+
+    def render_events(
+        self, events: Sequence[ExecEvent], batched: Optional[bool] = None
+    ) -> np.ndarray:
+        """Render an executed instruction stream to an analog power trace.
+
+        The returned trace has one clock cycle per instruction slot plus a
+        leading and trailing pad cycle, so that
+        ``trace[i * spc : i * spc + window]`` is the profiling window of
+        instruction ``i`` (fetch/decode cycle + execute cycle).
+
+        Args:
+            events: executed instruction stream.
+            batched: force the vectorized (True) or event-at-a-time
+                (False) renderer; ``None`` follows ``REPRO_BATCHED_RENDER``
+                (default on).  Both accumulate identical terms; they can
+                differ only in floating-point summation order (~1e-15
+                relative).
+        """
+        if batched is None:
+            batched = os.environ.get(
+                "REPRO_BATCHED_RENDER", "1"
+            ).strip().lower() not in ("0", "false", "off")
+        if batched:
+            return self._render_events_batched(events)
+        return self.render_events_serial(events)
 
     def window(self, trace: np.ndarray, index: int) -> np.ndarray:
         """Profiling window of instruction ``index`` within a rendered trace."""

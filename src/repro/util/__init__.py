@@ -1,0 +1,5 @@
+"""Shared utilities (parallel execution helpers)."""
+
+from .parallel import parallel_map, resolve_n_jobs
+
+__all__ = ["parallel_map", "resolve_n_jobs"]

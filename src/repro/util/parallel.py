@@ -1,0 +1,81 @@
+"""Deterministic process-pool mapping with a serial fallback.
+
+The capture loops are embarrassingly parallel: every work item owns an
+independently derived sub-seed, so the result of an item never depends on
+which worker ran it or in what order.  :func:`parallel_map` exploits that —
+it always returns results in input order, which makes the parallel output
+bit-for-bit identical to the serial output for any worker count.
+
+Worker-count resolution (:func:`resolve_n_jobs`):
+
+1. an explicit ``n_jobs`` argument;
+2. the ``REPRO_N_JOBS`` environment variable;
+3. default 1 (serial — no surprise process pools).
+
+``n_jobs <= 0`` means "all cores".  Any failure to run the pool (fork
+restrictions, unpicklable callables, a broken worker) falls back to the
+serial path, so callers never need a code path per execution mode.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = ["parallel_map", "resolve_n_jobs"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
+    """Resolve a worker count (argument → ``REPRO_N_JOBS`` → 1)."""
+    if n_jobs is None:
+        raw = os.environ.get("REPRO_N_JOBS", "").strip()
+        if raw:
+            try:
+                n_jobs = int(raw)
+            except ValueError:
+                n_jobs = 1
+        else:
+            n_jobs = 1
+    if n_jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return int(n_jobs)
+
+
+def _serial_map(fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
+    return [fn(item) for item in items]
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    n_jobs: Optional[int] = None,
+) -> List[_R]:
+    """Map ``fn`` over ``items``, optionally on a process pool.
+
+    Results always come back in input order.  ``fn`` and every item must
+    be picklable to actually run on the pool; anything that prevents the
+    pool from delivering (unpicklable work, fork restrictions, a killed
+    worker) silently degrades to the serial path.  Because work items are
+    pure functions of their own inputs, serial re-execution yields the
+    same values — and genuine errors raised by ``fn`` reproduce there,
+    now with an undecorated traceback.
+
+    Args:
+        fn: callable applied to each item (module-level for pool use).
+        items: work items; consumed eagerly.
+        n_jobs: worker count, resolved via :func:`resolve_n_jobs`.
+    """
+    work = list(items)
+    n_jobs = resolve_n_jobs(n_jobs)
+    if n_jobs <= 1 or len(work) <= 1:
+        return _serial_map(fn, work)
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(work))) as pool:
+            return list(pool.map(fn, work))
+    except Exception:
+        return _serial_map(fn, work)

@@ -1,0 +1,121 @@
+"""Determinism of parallel acquisition and the batched renderer.
+
+The parallelization contract is strict: captures are partitioned by
+per-file sub-seeds that are derived *before* any work is dispatched, so
+the output must be bit-for-bit identical for any worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.power.acquisition import Acquisition, RegisterSampler
+from repro.sim.cpu import AvrCpu
+from repro.util.parallel import parallel_map, resolve_n_jobs
+
+
+def _module_double(x):
+    return 2 * x
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        assert parallel_map(_module_double, range(7), n_jobs=1) == [
+            0, 2, 4, 6, 8, 10, 12,
+        ]
+
+    def test_pool_matches_serial(self):
+        items = list(range(8))
+        serial = parallel_map(_module_double, items, n_jobs=1)
+        pooled = parallel_map(_module_double, items, n_jobs=3)
+        assert pooled == serial
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        state = {"offset": 5}
+        result = parallel_map(lambda x: x + state["offset"], [1, 2], n_jobs=4)
+        assert result == [6, 7]
+
+    def test_resolve_n_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_N_JOBS", raising=False)
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(3) == 3
+        assert resolve_n_jobs(0) >= 1
+        monkeypatch.setenv("REPRO_N_JOBS", "4")
+        assert resolve_n_jobs(None) == 4
+        monkeypatch.setenv("REPRO_N_JOBS", "junk")
+        assert resolve_n_jobs(None) == 1
+
+
+class TestParallelCaptureDeterminism:
+    def test_capture_class_bit_exact_across_worker_counts(self):
+        serial_acq = Acquisition(seed=123)
+        windows_1, pids_1 = serial_acq.capture_class(
+            "ADC", 24, n_programs=4, n_jobs=1
+        )
+        pooled_acq = Acquisition(seed=123)
+        windows_4, pids_4 = pooled_acq.capture_class(
+            "ADC", 24, n_programs=4, n_jobs=4
+        )
+        np.testing.assert_array_equal(windows_1, windows_4)
+        np.testing.assert_array_equal(pids_1, pids_4)
+
+    def test_register_capture_bit_exact_across_worker_counts(self):
+        serial = Acquisition(seed=7).capture_register_set(
+            "Rd", [0, 16], 12, n_programs=2, n_jobs=1
+        )
+        pooled = Acquisition(seed=7).capture_register_set(
+            "Rd", [0, 16], 12, n_programs=2, n_jobs=4
+        )
+        np.testing.assert_array_equal(serial.traces, pooled.traces)
+        np.testing.assert_array_equal(serial.labels, pooled.labels)
+        np.testing.assert_array_equal(serial.program_ids, pooled.program_ids)
+
+    def test_instance_default_n_jobs_matches_serial(self):
+        default = Acquisition(seed=31)
+        pooled = Acquisition(seed=31, n_jobs=2)
+        w_default, _ = default.capture_class("EOR", 16, n_programs=4)
+        w_pooled, _ = pooled.capture_class("EOR", 16, n_programs=4)
+        np.testing.assert_array_equal(w_default, w_pooled)
+
+    def test_register_sampler_is_picklable(self):
+        import pickle
+
+        sampler = RegisterSampler(0, 5, ("ADD", "SUB"))
+        clone = pickle.loads(pickle.dumps(sampler))
+        rng_a, rng_b = (np.random.default_rng(2) for _ in range(2))
+        assert clone(rng_a, 0).encode() == sampler(rng_b, 0).encode()
+
+
+class TestBatchedRenderer:
+    @pytest.fixture()
+    def bench(self):
+        return Acquisition(seed=55)
+
+    def _events(self, bench, target_key, n_segments=32):
+        rng = bench._rng("render-test", target_key)
+        instructions, _ = bench._build_segments(
+            rng, n_segments=n_segments, target_key=target_key
+        )
+        cpu = AvrCpu(instructions)
+        bench._randomize_state(cpu, rng)
+        return cpu.run(max_steps=len(instructions))
+
+    @pytest.mark.parametrize("target_key", ["ADC", "LDS", "RJMP", "SBI"])
+    def test_batched_matches_serial(self, bench, target_key):
+        events = self._events(bench, target_key)
+        serial = bench.model.render_events_serial(events)
+        batched = bench.model.render_events(events, batched=True)
+        np.testing.assert_allclose(batched, serial, rtol=1e-9, atol=1e-12)
+
+    def test_empty_stream(self, bench):
+        np.testing.assert_array_equal(
+            bench.model.render_events([], batched=True),
+            bench.model.render_events_serial([]),
+        )
+
+    def test_env_flag_disables_batching(self, bench, monkeypatch):
+        events = self._events(bench, "ADC", n_segments=4)
+        monkeypatch.setenv("REPRO_BATCHED_RENDER", "0")
+        forced_serial = bench.model.render_events(events)
+        np.testing.assert_array_equal(
+            forced_serial, bench.model.render_events_serial(events)
+        )

@@ -12,9 +12,10 @@ import numpy as np
 import pytest
 
 from repro.core import SideChannelDisassembler
+from repro.core.hierarchy import LevelModel
 from repro.dsp import CWT, get_cwt
-from repro.features import FeatureConfig
-from repro.ml import QDA
+from repro.features import DnvpSelector, FeatureConfig, WaveletStats
+from repro.ml import OneVsOneClassifier, QDA
 from repro.power import Acquisition, PowerModel
 from repro.sim import AvrCpu
 
@@ -98,6 +99,162 @@ def test_capture_class_parallel_throughput(benchmark):
         lambda: acq.capture_class("ADC", 64, n_programs=4)[0]
     )
     assert windows.shape[0] == 64
+
+
+# -- template-training stack ------------------------------------------------
+
+TRAIN_KEYS = ["ADD", "ADC", "SUB", "AND", "OR", "EOR", "LDS", "ST_X"]
+TRAIN_CONFIG = FeatureConfig(kl_threshold="auto:0.9", n_components=15)
+
+
+@pytest.fixture(scope="module")
+def selector_stats():
+    """8 classes x 10 programs of full-plane (50x315) wavelet statistics."""
+    rng = np.random.default_rng(0)
+    stats = {}
+    pids = np.repeat(np.arange(10), 2)
+    for code, name in enumerate(TRAIN_KEYS):
+        images = rng.normal(0.05 * code, 1.0 + 0.02 * code, (20, 50, 315))
+        images += 0.1 * pids[:, None, None] * rng.normal(0, 1, (50, 315))
+        stats[name] = WaveletStats.from_images(
+            images.astype(np.float32), pids
+        )
+    return stats
+
+
+def test_dnvp_selector_fit_throughput(benchmark, selector_stats):
+    """Batched DNVP selection: all pair fields from stacked statistics."""
+    selector = benchmark(
+        lambda: DnvpSelector(kl_threshold="auto:0.6", top_k=5).fit(
+            selector_stats, batched=True
+        )
+    )
+    assert len(selector.points) > 0
+
+
+def test_dnvp_selector_fit_reference_throughput(benchmark, selector_stats):
+    """Serial per-pair selection baseline (identical output)."""
+    selector = benchmark(
+        lambda: DnvpSelector(kl_threshold="auto:0.6", top_k=5).fit_reference(
+            selector_stats
+        )
+    )
+    assert len(selector.points) > 0
+
+
+@pytest.fixture(scope="module")
+def train_set():
+    """8 instruction classes x 60 program files x 2 traces each."""
+    return Acquisition(seed=66).capture_instruction_set(TRAIN_KEYS, 120, 60)
+
+
+def _train_level(train_set):
+    return LevelModel.train(
+        train_set, TRAIN_CONFIG, lambda: OneVsOneClassifier(QDA())
+    )
+
+
+def test_level_train_throughput(benchmark, train_set, monkeypatch):
+    """End-to-end level training on the batched fast path."""
+    monkeypatch.setenv("REPRO_BATCHED_TRAIN", "1")
+    model = benchmark.pedantic(
+        lambda: _train_level(train_set),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert model.pipeline.n_points > 0
+
+
+def test_level_train_reference_throughput(benchmark, train_set, monkeypatch):
+    """Same training through the serial reference paths (identical model)."""
+    monkeypatch.setenv("REPRO_BATCHED_TRAIN", "0")
+    model = benchmark.pedantic(
+        lambda: _train_level(train_set),
+        rounds=2, iterations=1, warmup_rounds=1,
+    )
+    assert model.pipeline.n_points > 0
+
+
+@pytest.fixture(scope="module")
+def ovo_problem():
+    """12-class Gaussian problem for one-vs-one fitting."""
+    rng = np.random.default_rng(3)
+    n_classes, n_per, dim = 12, 150, 20
+    means = rng.normal(0, 2, (n_classes, dim))
+    X = rng.normal(0, 1, (n_classes, n_per, dim)) + means[:, None, :]
+    y = np.repeat(np.arange(n_classes), n_per)
+    return X.reshape(-1, dim), y
+
+
+def test_ovo_fit_throughput(benchmark, ovo_problem, monkeypatch):
+    """Shared-sufficient-statistic one-vs-one fitting (66 QDA pairs)."""
+    monkeypatch.setenv("REPRO_BATCHED_TRAIN", "1")
+    X, y = ovo_problem
+    clf = benchmark(lambda: OneVsOneClassifier(QDA()).fit(X, y))
+    assert clf.predict(X[:4]).shape == (4,)
+
+
+def test_ovo_fit_reference_throughput(benchmark, ovo_problem):
+    """Per-pair refitting baseline (identical classifiers)."""
+    X, y = ovo_problem
+    clf = benchmark(lambda: OneVsOneClassifier(QDA()).fit_reference(X, y))
+    assert clf.predict(X[:4]).shape == (4,)
+
+
+@pytest.fixture(scope="module")
+def small_disassembler():
+    """Two-group hierarchy plus a 128-window evaluation stream."""
+    from repro.power.acquisition import random_instance
+    from repro.power.dataset import TraceSet
+
+    acq = Acquisition(seed=11)
+    config = FeatureConfig(kl_threshold="auto:0.9", top_k=5, n_components=10)
+    group_parts = []
+    for code, (name, pool) in enumerate(
+        (("G1", ["ADD", "EOR"]), ("G5", ["LDS", "ST_X"]))
+    ):
+        def sampler(rng, addr, _pool=pool):
+            return random_instance(
+                str(rng.choice(_pool)), rng, word_address=addr
+            )
+
+        w, p = acq.capture_class(
+            pool[0], 60, 3, label_override=name, target_sampler=sampler
+        )
+        group_parts.append((w, code, p))
+    group_set = TraceSet(
+        traces=np.concatenate([w for w, _, _ in group_parts]),
+        labels=np.concatenate(
+            [np.full(len(w), c) for w, c, _ in group_parts]
+        ),
+        label_names=("G1", "G5"),
+        program_ids=np.concatenate([p for _, _, p in group_parts]),
+    )
+    g1 = acq.capture_instruction_set(["ADD", "EOR"], 60, 3)
+    g5 = acq.capture_instruction_set(["LDS", "ST_X"], 60, 3)
+    dis = SideChannelDisassembler(config, classifier_factory=QDA)
+    dis.fit_group_level(group_set)
+    dis.fit_instruction_level(1, g1)
+    dis.fit_instruction_level(5, g5)
+    windows = np.concatenate([g1.traces[:64], g5.traces[:64]])
+    return dis, windows
+
+
+def test_hierarchy_predict_throughput(benchmark, small_disassembler):
+    """Batched hierarchical inference: one pipeline pass per group."""
+    dis, windows = small_disassembler
+    keys = benchmark(
+        lambda: dis.predict_instructions(windows, adapt=False, batched=True)
+    )
+    assert len(keys) == len(windows)
+
+
+def test_hierarchy_predict_reference_throughput(benchmark, small_disassembler):
+    """Row-at-a-time streaming baseline (identical keys)."""
+    dis, windows = small_disassembler
+    keys = benchmark(
+        lambda: dis.predict_instructions_reference(windows, adapt=False)
+    )
+    assert len(keys) == len(windows)
 
 
 def test_simulator_throughput(benchmark):

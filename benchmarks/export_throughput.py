@@ -4,13 +4,20 @@ Usage::
 
     python -m pytest benchmarks/bench_throughput.py \
         --benchmark-json=/tmp/bench_raw.json -q
-    python benchmarks/export_throughput.py /tmp/bench_raw.json
+    python benchmarks/export_throughput.py /tmp/bench_raw.json [--check]
 
 The emitted file records, per benchmark, the mean/min wall time of this
-run next to the frozen seed baseline (the per-scale-loop CWT, serial
-capture and event-at-a-time renderer measured on the same class of
-machine before the fast path landed), so every future PR has a perf
-trajectory to compare against.
+run next to the frozen seed baseline (the state of the code before the
+relevant fast path landed, measured on the same class of machine), so
+every future PR has a perf trajectory to compare against.  Benchmarks
+that ship with an in-tree serial reference (``*_reference_throughput`` /
+``*_serial_throughput`` twins run in the same session) additionally get
+``speedup_vs_reference`` — a scale-independent fast-vs-slow ratio from
+the same machine state, which is what the training-stack acceptance
+numbers are read from.
+
+With ``--check``, exits non-zero if any recorded ``speedup_vs_seed``
+falls below 1.0 — the CI smoke gate against perf regressions.
 """
 
 from __future__ import annotations
@@ -19,15 +26,29 @@ import json
 import sys
 from pathlib import Path
 
-#: Seed-state means (ms), measured with pytest-benchmark on the
-#: reference machine (Intel Xeon @ 2.10GHz, 1 core) at the commit before
-#: the batched fast path.  Benchmarks added alongside the fast path have
-#: no seed counterpart and carry ``None``.
+#: Frozen baseline means (ms), measured with pytest-benchmark on the
+#: reference machine (Intel Xeon @ 2.10GHz, 1 core) before the matching
+#: fast path landed.  ``test_capture_class_parallel_throughput`` is
+#: frozen at the value from before the workload-size heuristic, when a
+#: single-core host paid the worker-pool overhead on every capture.
+#: Benchmarks without a slow-state counterpart carry ``None``.
 SEED_BASELINE_MS = {
     "test_classify_batch_throughput": 76.327,
     "test_cwt_full_plane_throughput": 68.984,
     "test_simulator_throughput": 33.540,
     "test_render_throughput": 12.682,
+    "test_capture_class_parallel_throughput": 79.364,
+}
+
+#: Fast benchmark -> serial-reference benchmark measured in the same run.
+REFERENCE_PAIRS = {
+    "test_dnvp_selector_fit_throughput":
+        "test_dnvp_selector_fit_reference_throughput",
+    "test_level_train_throughput": "test_level_train_reference_throughput",
+    "test_ovo_fit_throughput": "test_ovo_fit_reference_throughput",
+    "test_hierarchy_predict_throughput":
+        "test_hierarchy_predict_reference_throughput",
+    "test_render_throughput": "test_render_serial_throughput",
 }
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
@@ -35,12 +56,16 @@ OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 def export(raw_path: str, output: Path = OUTPUT) -> dict:
     raw = json.loads(Path(raw_path).read_text())
+    means = {
+        bench["name"]: bench["stats"]["mean"] * 1e3
+        for bench in raw["benchmarks"]
+    }
     results = {}
     for bench in raw["benchmarks"]:
         name = bench["name"]
         mean_ms = bench["stats"]["mean"] * 1e3
         seed_ms = SEED_BASELINE_MS.get(name)
-        results[name] = {
+        row = {
             "mean_ms": round(mean_ms, 3),
             "min_ms": round(bench["stats"]["min"] * 1e3, 3),
             "seed_mean_ms": seed_ms,
@@ -48,6 +73,11 @@ def export(raw_path: str, output: Path = OUTPUT) -> dict:
                 round(seed_ms / mean_ms, 2) if seed_ms else None
             ),
         }
+        reference = REFERENCE_PAIRS.get(name)
+        if reference is not None and reference in means:
+            row["reference_mean_ms"] = round(means[reference], 3)
+            row["speedup_vs_reference"] = round(means[reference] / mean_ms, 2)
+        results[name] = row
     document = {
         "machine": raw.get("machine_info", {})
         .get("cpu", {})
@@ -58,11 +88,31 @@ def export(raw_path: str, output: Path = OUTPUT) -> dict:
     return document
 
 
+def check(document: dict) -> list:
+    """Names of benchmarks that regressed below their frozen baseline."""
+    return [
+        name
+        for name, row in document["benchmarks"].items()
+        if row["speedup_vs_seed"] is not None and row["speedup_vs_seed"] < 1.0
+    ]
+
+
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
+    args = [a for a in sys.argv[1:] if a != "--check"]
+    if len(args) != 1:
         sys.exit(__doc__)
-    doc = export(sys.argv[1])
+    doc = export(args[0])
     for name, row in doc["benchmarks"].items():
-        speedup = row["speedup_vs_seed"]
-        suffix = f"  ({speedup}x vs seed)" if speedup else ""
+        parts = []
+        if row["speedup_vs_seed"]:
+            parts.append(f"{row['speedup_vs_seed']}x vs seed")
+        if row.get("speedup_vs_reference"):
+            parts.append(f"{row['speedup_vs_reference']}x vs reference")
+        suffix = f"  ({', '.join(parts)})" if parts else ""
         print(f"{name}: {row['mean_ms']} ms{suffix}")
+    if "--check" in sys.argv[1:]:
+        regressed = check(doc)
+        if regressed:
+            print(f"FAIL: regressed below seed baseline: {regressed}")
+            sys.exit(1)
+        print("OK: all benchmarks at or above their seed baselines")

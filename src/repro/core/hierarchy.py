@@ -13,11 +13,19 @@ Each level owns its feature pipeline (CWT -> KL/DNVP -> normalize -> PCA)
 and a template classifier.  The hierarchy slashes the number of binary
 classifiers needed: for 112 classes, flat one-vs-one SVM needs 6216
 machines, hierarchical at most C(8,2) + C(20,2) = 218.
+
+Inference is *batched*: windows routed to the same group run through
+that group's pipeline + classifier as one batch, and label/operand
+decoding is vectorized.  The row-at-a-time walk a naive disassembler
+loop would do is kept as
+:meth:`SideChannelDisassembler.predict_instructions_reference` for
+parity testing and benchmarking (``REPRO_BATCHED_TRAIN=0`` selects it).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -27,6 +35,7 @@ from ..isa import REGISTRY, OperandKind
 from ..ml.base import Classifier
 from ..ml.discriminant import QDA
 from ..power.dataset import TraceSet
+from ..util.env import env_flag
 from .types import DisassembledInstruction
 
 __all__ = ["LevelModel", "SideChannelDisassembler"]
@@ -49,13 +58,12 @@ class LevelModel:
     ) -> "LevelModel":
         """Fit a level on a labelled trace set."""
         pipeline = FeaturePipeline(feature_config)
-        pipeline.fit(
+        features = pipeline.fit_transform(
             trace_set.traces,
             trace_set.labels,
             trace_set.program_ids,
             trace_set.label_names,
         )
-        features = pipeline.transform(trace_set.traces)
         classifier = classifier_factory()
         classifier.fit(features, trace_set.labels)
         return cls(
@@ -78,10 +86,8 @@ class LevelModel:
         self, windows: np.ndarray, adapt: Optional[bool] = None
     ) -> List[str]:
         """Predict class keys for raw windows."""
-        return [
-            self.label_names[code]
-            for code in self.predict(windows, adapt=adapt)
-        ]
+        names = np.asarray(self.label_names, dtype=object)
+        return list(names[self.predict(windows, adapt=adapt)])
 
     def score(self, trace_set: TraceSet) -> float:
         """Successful recognition rate on a labelled trace set."""
@@ -90,6 +96,21 @@ class LevelModel:
 
 
 _REG_KINDS = (OperandKind.REG, OperandKind.REG_HIGH)
+
+
+@lru_cache(maxsize=None)
+def _register_slots(key: str) -> Tuple[bool, bool]:
+    """Whether an instruction class carries an Rd (and an Rr) operand.
+
+    Registry lookups are pure per class key, so the per-window loop in
+    :meth:`SideChannelDisassembler.disassemble` resolves them through
+    this cache instead of re-scanning the operand spec per window.
+    """
+    spec = REGISTRY.get(key)
+    if spec is None:
+        return False, False
+    reg_slots = [op.kind for op in spec.operands if op.kind in _REG_KINDS]
+    return len(reg_slots) >= 1, len(reg_slots) >= 2
 
 
 class SideChannelDisassembler:
@@ -178,39 +199,75 @@ class SideChannelDisassembler:
         if self.group_model is None:
             raise RuntimeError("group level is not fitted")
         codes = self.group_model.predict(windows, adapt=adapt)
-        return np.array(
-            [int(self.group_model.label_names[c][1:]) for c in codes]
+        numbers = np.array(
+            [int(name[1:]) for name in self.group_model.label_names]
         )
+        return numbers[codes]
 
     def predict_instructions(
         self,
         windows: np.ndarray,
         groups: Optional[np.ndarray] = None,
         adapt: Optional[bool] = None,
+        batched: Optional[bool] = None,
     ) -> List[str]:
         """Level-2 prediction: class key per window (hierarchical).
+
+        Windows are grouped by their level-1 prediction and each group's
+        pipeline + classifier runs **once** on the whole group batch;
+        ``batched=None`` follows ``REPRO_BATCHED_TRAIN`` (default on,
+        falling back to the row-at-a-time reference when disabled).
 
         Note on ``adapt``: level-2 batches contain only the windows routed
         to one group, so their class mixture is typically *not*
         representative of training — pass ``adapt=False`` for real-code
-        streams unless the batch is known to be balanced.
+        streams unless the batch is known to be balanced.  The per-row
+        reference never has batches large enough to adapt, so parity with
+        it holds under ``adapt=False`` or non-batch normalization.
         """
+        if batched is None:
+            batched = env_flag("REPRO_BATCHED_TRAIN", True)
+        if not batched:
+            return self.predict_instructions_reference(windows, groups, adapt)
         windows = np.asarray(windows)
         if groups is None:
             groups = self.predict_groups(windows, adapt=adapt)
-        keys: List[Optional[str]] = [None] * len(windows)
+        keys = np.empty(len(windows), dtype=object)
         for group in np.unique(groups):
             model = self.instruction_models.get(int(group))
             rows = np.flatnonzero(groups == group)
             if model is None:
                 # Group without a fitted level 2: report the group only.
-                for row in rows:
-                    keys[row] = f"G{int(group)}?"
+                keys[rows] = f"G{int(group)}?"
                 continue
-            predictions = model.predict_keys(windows[rows], adapt=adapt)
-            for row, key in zip(rows, predictions):
-                keys[row] = key
-        return [k if k is not None else "?" for k in keys]
+            keys[rows] = model.predict_keys(windows[rows], adapt=adapt)
+        return list(keys)
+
+    def predict_instructions_reference(
+        self,
+        windows: np.ndarray,
+        groups: Optional[np.ndarray] = None,
+        adapt: Optional[bool] = None,
+    ) -> List[str]:
+        """Row-at-a-time reference for :meth:`predict_instructions`.
+
+        Routes every window through its group's pipeline + classifier as
+        a batch of one — the naive streaming-disassembler loop.  Kept for
+        parity tests and as the benchmark baseline.
+        """
+        windows = np.asarray(windows)
+        if groups is None:
+            groups = self.predict_groups(windows, adapt=adapt)
+        keys: List[str] = []
+        for row in range(len(windows)):
+            model = self.instruction_models.get(int(groups[row]))
+            if model is None:
+                keys.append(f"G{int(groups[row])}?")
+                continue
+            keys.append(
+                model.predict_keys(windows[row:row + 1], adapt=adapt)[0]
+            )
+        return keys
 
     def predict_register(
         self, role: str, windows: np.ndarray, adapt: Optional[bool] = None
@@ -220,9 +277,8 @@ class SideChannelDisassembler:
         if model is None:
             raise RuntimeError(f"register level {role!r} is not fitted")
         codes = model.predict(windows, adapt=adapt)
-        return np.array(
-            [int(model.label_names[c][2:]) for c in codes]
-        )
+        numbers = np.array([int(name[2:]) for name in model.label_names])
+        return numbers[codes]
 
     def disassemble(
         self, windows: np.ndarray, adapt: Optional[bool] = None
@@ -250,14 +306,7 @@ class SideChannelDisassembler:
         )
         out: List[DisassembledInstruction] = []
         for i, key in enumerate(keys):
-            spec = REGISTRY.get(key)
-            want_rd = want_rr = False
-            if spec is not None:
-                reg_slots = [
-                    op.kind for op in spec.operands if op.kind in _REG_KINDS
-                ]
-                want_rd = len(reg_slots) >= 1
-                want_rr = len(reg_slots) >= 2
+            want_rd, want_rr = _register_slots(key)
             out.append(
                 DisassembledInstruction(
                     key=key,

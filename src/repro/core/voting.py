@@ -20,8 +20,8 @@ import numpy as np
 from ..dsp.cwt import CWT, get_cwt
 from ..features.pca import PCA
 from ..features.pipeline import FeatureConfig, compute_class_stats
-from ..features.selection import select_pair_points
-from ..features.kl import within_class_kl
+from ..features.selection import select_all_pairs, select_pair_points
+from ..features.kl import batched_train_enabled, within_class_kl_reference
 from ..ml.base import Classifier
 from ..ml.discriminant import QDA
 from ..power.dataset import TraceSet
@@ -115,25 +115,43 @@ class PairwiseVotingClassifier:
             self._cwt,
             cfg.block_size,
         )
-        within = {
-            name: within_class_kl(stats[name]) for name in trace_set.label_names
-        }
         # Select each pair's own points, then build one unified gather list.
+        # The batched path computes all within/between fields as stacked
+        # evaluations (see repro.features.kl); the reference loop is the
+        # REPRO_BATCHED_TRAIN=0 fallback and selects identical points.
+        pair_codes = list(
+            itertools.combinations(range(len(trace_set.label_names)), 2)
+        )
         pair_points: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
-        for a, b in itertools.combinations(range(len(trace_set.label_names)), 2):
-            name_a = trace_set.label_names[a]
-            name_b = trace_set.label_names[b]
-            selection = select_pair_points(
-                stats[name_a],
-                stats[name_b],
+        if batched_train_enabled():
+            selections = select_all_pairs(
+                stats,
                 kl_threshold=cfg.kl_threshold,
                 top_k=self.points_per_pair,
-                class_a=name_a,
-                class_b=name_b,
-                within_a=within[name_a],
-                within_b=within[name_b],
+                names=list(trace_set.label_names),
+                n_jobs=cfg.n_jobs,
             )
-            pair_points[(a, b)] = selection.points
+            for (a, b), selection in zip(pair_codes, selections):
+                pair_points[(a, b)] = selection.points
+        else:
+            within = {
+                name: within_class_kl_reference(stats[name])
+                for name in trace_set.label_names
+            }
+            for a, b in pair_codes:
+                name_a = trace_set.label_names[a]
+                name_b = trace_set.label_names[b]
+                selection = select_pair_points(
+                    stats[name_a],
+                    stats[name_b],
+                    kl_threshold=cfg.kl_threshold,
+                    top_k=self.points_per_pair,
+                    class_a=name_a,
+                    class_b=name_b,
+                    within_a=within[name_a],
+                    within_b=within[name_b],
+                )
+                pair_points[(a, b)] = selection.points
         unified = sorted({p for pts in pair_points.values() for p in pts})
         self._points = unified
         column_of = {point: i for i, point in enumerate(unified)}
@@ -161,7 +179,45 @@ class PairwiseVotingClassifier:
         return self
 
     def predict(self, windows: np.ndarray) -> np.ndarray:
-        """Majority vote over all pairwise classifiers (Eq. 3)."""
+        """Majority vote over all pairwise classifiers (Eq. 3).
+
+        Pair predictions are collected into one ``(n_pairs, n)`` winner
+        matrix and reduced with ``np.add.at`` (identical counts to the
+        per-pair accumulation loop, which remains as
+        :meth:`predict_reference`).
+        """
+        if not self._pairs:
+            raise RuntimeError("classifier is not fitted")
+        values = self._normalize(self._point_values(np.asarray(windows)), fit=False)
+        n = len(values)
+        n_classes = len(self.label_names)
+        n_pairs = len(self._pairs)
+        winners = np.empty((n_pairs, n), dtype=np.int64)
+        softs = np.zeros((n_pairs, n))
+        has_soft = np.zeros(n_pairs, dtype=bool)
+        codes_a = np.array([pair.code_a for pair in self._pairs])
+        codes_b = np.array([pair.code_b for pair in self._pairs])
+        for row, pair in enumerate(self._pairs):
+            projected = pair.pca.transform(values[:, pair.columns])
+            pred = pair.classifier.predict(projected)
+            winners[row] = np.where(pred == pair.code_a, pair.code_a, pair.code_b)
+            if hasattr(pair.classifier, "predict_proba"):
+                proba = pair.classifier.predict_proba(projected)
+                column = list(pair.classifier.classes_).index(pair.code_a)
+                softs[row] = proba[:, column] - 0.5
+                has_soft[row] = True
+        votes = np.zeros((n, n_classes))
+        rows = np.broadcast_to(np.arange(n), (n_pairs, n))
+        np.add.at(votes, (rows.ravel(), winners.ravel()), 1.0)
+        scores_t = np.zeros((n_classes, n))
+        if has_soft.any():
+            np.add.at(scores_t, codes_a[has_soft], softs[has_soft])
+            np.add.at(scores_t, codes_b[has_soft], -softs[has_soft])
+        ranking = votes + 1e-9 * np.tanh(scores_t.T)
+        return np.argmax(ranking, axis=1)
+
+    def predict_reference(self, windows: np.ndarray) -> np.ndarray:
+        """Per-pair accumulation loop (reference for :meth:`predict`)."""
         if not self._pairs:
             raise RuntimeError("classifier is not fitted")
         values = self._normalize(self._point_values(np.asarray(windows)), fit=False)

@@ -1,11 +1,15 @@
 """Feature engineering: KL divergence fields, DNVP selection, PCA."""
 
 from .kl import (
+    StackedClassStats,
     WaveletStats,
     between_class_kl,
+    between_class_kl_matrix,
     gaussian_kl,
     symmetric_gaussian_kl,
     within_class_kl,
+    within_class_kl_batched,
+    within_class_kl_reference,
 )
 from .pca import PCA
 from .pipeline import FeatureConfig, FeaturePipeline
@@ -15,6 +19,7 @@ from .selection import (
     PairSelection,
     extract_points,
     local_maxima_2d,
+    select_all_pairs,
     select_pair_points,
     unify_points,
 )
@@ -25,15 +30,20 @@ __all__ = [
     "FeaturePipeline",
     "PCA",
     "PairSelection",
+    "StackedClassStats",
     "WaveletStats",
     "between_class_kl",
+    "between_class_kl_matrix",
     "extract_points",
     "gaussian_kl",
     "local_maxima_2d",
+    "select_all_pairs",
     "select_pair_points",
     "snr_field",
     "snr_report",
     "symmetric_gaussian_kl",
     "unify_points",
     "within_class_kl",
+    "within_class_kl_batched",
+    "within_class_kl_reference",
 ]

@@ -14,11 +14,17 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..dsp.cwt import CWT, CwtConfig, get_cwt
+from ..util.env import env_int
 from .kl import WaveletStats
 from .pca import PCA
 from .selection import DnvpSelector, Point
 
-__all__ = ["FeatureConfig", "FeaturePipeline", "compute_class_stats"]
+__all__ = [
+    "ClassImages",
+    "FeatureConfig",
+    "FeaturePipeline",
+    "compute_class_stats",
+]
 
 
 def compute_class_stats(
@@ -28,8 +34,16 @@ def compute_class_stats(
     label_names: Sequence[str],
     cwt: Optional[CWT],
     block_size: int = 512,
+    image_cache: Optional[Dict[str, "ClassImages"]] = None,
 ) -> Dict[str, WaveletStats]:
-    """Per-class wavelet statistics (time-domain pseudo-images if no CWT)."""
+    """Per-class wavelet statistics (time-domain pseudo-images if no CWT).
+
+    Args:
+        image_cache: optional dict that receives the full per-class
+            time-frequency images (with their row indices into
+            ``traces``) so the caller can reuse them — e.g. to gather
+            selected-point feature values without a second CWT pass.
+    """
     labels = np.asarray(labels)
     program_ids = np.asarray(program_ids)
     stats: Dict[str, WaveletStats] = {}
@@ -46,7 +60,17 @@ def compute_class_stats(
                 blocks.append(np.asarray(chunk, dtype=np.float32)[:, None, :])
         images = np.concatenate(blocks)
         stats[name] = WaveletStats.from_images(images, program_ids[rows])
+        if image_cache is not None:
+            image_cache[name] = ClassImages(rows=rows, images=images)
     return stats
+
+
+@dataclass(frozen=True)
+class ClassImages:
+    """One class's full images plus their row positions in the trace set."""
+
+    rows: np.ndarray
+    images: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -79,6 +103,9 @@ class FeatureConfig:
             directly on time-domain samples (ablation baseline).
         cwt: wavelet parameters.
         block_size: CWT batch size during fitting (memory control).
+        n_jobs: worker count for the per-pair DNVP selection fan
+            (``None`` → ``REPRO_N_JOBS`` → serial; results identical for
+            any value).
     """
 
     kl_threshold: float = 0.005
@@ -89,6 +116,7 @@ class FeatureConfig:
     cwt: CwtConfig = field(default_factory=CwtConfig)
     block_size: int = 512
     min_batch_for_adaptation: int = 8
+    n_jobs: Optional[int] = None
 
     def with_overrides(self, **kwargs) -> "FeatureConfig":
         """Copy with selected fields replaced."""
@@ -187,6 +215,41 @@ class FeaturePipeline:
         label_names: Sequence[str],
     ) -> "FeaturePipeline":
         """Fit selection, normalization and PCA on training traces."""
+        self._fit(traces, labels, program_ids, label_names)
+        return self
+
+    def fit_transform(
+        self,
+        traces: np.ndarray,
+        labels: np.ndarray,
+        program_ids: np.ndarray,
+        label_names: Sequence[str],
+        n_components: Optional[int] = None,
+    ) -> np.ndarray:
+        """Fit and return the training features in one pass.
+
+        Equivalent to ``fit(...)`` followed by ``transform(traces)`` up
+        to float32 rounding of the wavelet magnitudes: the normalized
+        point values computed while fitting PCA are projected directly
+        instead of re-deriving them from the raw traces, so the
+        training set never goes through the wavelet transform a second
+        time.
+        """
+        values = self._fit(traces, labels, program_ids, label_names)
+        assert self.pca is not None
+        projected = self.pca.transform(values)
+        if n_components is not None:
+            projected = projected[:, :n_components]
+        return projected
+
+    def _fit(
+        self,
+        traces: np.ndarray,
+        labels: np.ndarray,
+        program_ids: np.ndarray,
+        label_names: Sequence[str],
+    ) -> np.ndarray:
+        """Shared fitting body; returns the normalized training values."""
         if len(label_names) < 2:
             raise ValueError(
                 "feature selection needs at least two classes "
@@ -198,15 +261,59 @@ class FeaturePipeline:
             # Shared cached operator: every pipeline fitted on the same
             # geometry reuses one set of precomputed response matrices.
             self._cwt = get_cwt(self._n_samples, self.config.cwt)
-        stats = self.class_statistics(traces, labels, program_ids, label_names)
+        image_cache = (
+            {} if self._image_cache_fits(traces) else None
+        )
+        stats = compute_class_stats(
+            traces,
+            labels,
+            program_ids,
+            label_names,
+            self._cwt if self.config.use_cwt else None,
+            self.config.block_size,
+            image_cache=image_cache,
+        )
         self.selector = DnvpSelector(
-            kl_threshold=self.config.kl_threshold, top_k=self.config.top_k
+            kl_threshold=self.config.kl_threshold,
+            top_k=self.config.top_k,
+            n_jobs=self.config.n_jobs,
         ).fit(stats)
         self.points = self.selector.points
-        values = self._point_values(traces)
+        if image_cache is not None:
+            values = self._gather_point_values(image_cache, len(traces))
+        else:
+            values = self._point_values(traces)
         values = self._normalize(values, fit=True)
         self.pca = PCA(n_components=self.config.n_components).fit(values)
-        return self
+        return values
+
+    def _image_cache_fits(self, traces: np.ndarray) -> bool:
+        """Whether keeping all training images in memory is worth it.
+
+        The statistics pass already materializes every class's images;
+        holding on to them lets the selected-point values be gathered by
+        fancy indexing instead of a second CWT pass over the training
+        set.  Capped by ``REPRO_FIT_CACHE_MB`` (0 disables the cache).
+        """
+        if not self.config.use_cwt:
+            return False
+        budget_mb = env_int("REPRO_FIT_CACHE_MB", 256)
+        if budget_mb <= 0:
+            return False
+        n_scales = self.config.cwt.n_scales
+        total = len(traces) * n_scales * traces.shape[1] * 4
+        return total <= budget_mb * (1 << 20)
+
+    def _gather_point_values(
+        self, image_cache: Dict[str, ClassImages], n_traces: int
+    ) -> np.ndarray:
+        """Selected-point values gathered from the cached class images."""
+        scales = np.array([j for (j, _) in self.points])
+        times = np.array([k for (_, k) in self.points])
+        values = np.empty((n_traces, len(self.points)), dtype=np.float64)
+        for cached in image_cache.values():
+            values[cached.rows] = cached.images[:, scales, times]
+        return values
 
     def transform(
         self,

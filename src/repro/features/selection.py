@@ -10,6 +10,15 @@ Implements Definition 3.1 of the paper:
 4. the per-pair point sets are unified over all class pairs into the
    feature set handed to PCA (the paper reports 205 unified points for
    group 1, a 98.7 % reduction from 15,750).
+
+Multi-class selection (:class:`DnvpSelector`, :func:`select_all_pairs`)
+has a batched fast path: per-class within fields are computed once with
+the stacked program-pair kernel, all between-class fields come from one
+broadcasted evaluation (:func:`~repro.features.kl.between_class_kl_matrix`),
+and the per-pair peak selection fans over the ``repro.util.parallel``
+pool in deterministic ``itertools.combinations`` order.  The serial
+reference (:meth:`DnvpSelector.fit_reference`) is kept and parity-tested;
+``REPRO_BATCHED_TRAIN=0`` forces it.
 """
 
 from __future__ import annotations
@@ -20,12 +29,22 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .kl import WaveletStats, between_class_kl, within_class_kl
+from ..util.parallel import parallel_map
+from .kl import (
+    StackedClassStats,
+    WaveletStats,
+    batched_train_enabled,
+    between_class_kl,
+    between_class_kl_matrix,
+    within_class_kl,
+    within_class_kl_reference,
+)
 
 __all__ = [
     "local_maxima_2d",
     "PairSelection",
     "select_pair_points",
+    "select_all_pairs",
     "unify_points",
     "DnvpSelector",
 ]
@@ -56,6 +75,35 @@ def local_maxima_2d(field: np.ndarray, include_plateau: bool = False) -> np.ndar
                               1 + dj:padded.shape[1] - 1 + dj]
             mask &= compare(center, neighbor)
     return mask
+
+
+def _descending_order(values: np.ndarray) -> np.ndarray:
+    """Flat indices sorting ``values`` descending, ties by lowest index.
+
+    ``np.argsort(x)[::-1]`` is *unstable* under ties — reversing an
+    ascending sort puts the **highest** flat index first among equals,
+    and equal-key order may differ across sort kinds/platforms.  Sorting
+    the negated values with a stable mergesort makes tie order the flat
+    (row-major) point order, so selected points are reproducible across
+    NumPy versions and platforms.  ``-inf`` sentinels still sort last.
+    """
+    return np.argsort(-values, axis=None, kind="stable")
+
+
+def _ranked_masked_points(
+    values: np.ndarray, flat_candidates: np.ndarray
+) -> np.ndarray:
+    """Candidate flat indices ranked by descending value, stable ties.
+
+    Sorting only the (typically sparse) candidate set replaces the
+    full-field argsort; because ``flat_candidates`` is ascending, the
+    stable sort reproduces exactly the order the full-field
+    :func:`_descending_order` would give those same points.
+    """
+    ranked = np.argsort(
+        -values.ravel()[flat_candidates], kind="stable"
+    )
+    return flat_candidates[ranked]
 
 
 @dataclass
@@ -101,6 +149,9 @@ def select_pair_points(
     class_b: str = "b",
     within_a: Optional[np.ndarray] = None,
     within_b: Optional[np.ndarray] = None,
+    between: Optional[np.ndarray] = None,
+    nvp_a: Optional[np.ndarray] = None,
+    nvp_b: Optional[np.ndarray] = None,
 ) -> PairSelection:
     """Select the ``top_k`` DNVP points discriminating one class pair.
 
@@ -108,25 +159,32 @@ def select_pair_points(
     ``top_k`` points, the threshold is relaxed by ranking peak points by
     between-KL *penalized* by within-KL (so the most stable peaks win) —
     the selection never returns an empty feature set.
+
+    ``within_a`` / ``within_b`` / ``between`` / ``nvp_a`` / ``nvp_b``
+    accept precomputed fields and NVP masks (the multi-class fast path
+    computes the fields in batch and resolves each class's threshold and
+    mask once instead of once per pair); omitted inputs are computed
+    here.  Ranking sorts only the masked candidate set, which is
+    order-identical to a stable full-field descending sort.
     """
-    between = between_class_kl(stats_a, stats_b)
+    if between is None:
+        between = between_class_kl(stats_a, stats_b)
     peaks = local_maxima_2d(between)
     if within_a is None:
         within_a = within_class_kl(stats_a)
     if within_b is None:
         within_b = within_class_kl(stats_b)
-    nvp_a = within_a < resolve_threshold(kl_threshold, within_a)
-    nvp_b = within_b < resolve_threshold(kl_threshold, within_b)
+    if nvp_a is None:
+        nvp_a = within_a < resolve_threshold(kl_threshold, within_a)
+    if nvp_b is None:
+        nvp_b = within_b < resolve_threshold(kl_threshold, within_b)
     dnvp_mask = peaks & nvp_a & nvp_b
 
-    order_value = np.where(dnvp_mask, between, -np.inf)
-    flat = np.argsort(order_value, axis=None)[::-1]
-    points: List[Point] = []
-    for index in flat[: top_k]:
-        j, k = np.unravel_index(index, between.shape)
-        if not dnvp_mask[j, k]:
-            break
-        points.append((int(j), int(k)))
+    candidates = _ranked_masked_points(between, np.flatnonzero(dnvp_mask))
+    points: List[Point] = [
+        (int(j), int(k))
+        for j, k in zip(*np.unravel_index(candidates[:top_k], between.shape))
+    ]
 
     relaxed = False
     if len(points) < top_k:
@@ -134,19 +192,18 @@ def select_pair_points(
         relaxed = True
         worst_within = np.maximum(within_a, within_b)
         scale = max(resolve_threshold(kl_threshold, worst_within), 1e-12)
-        penalized = np.where(
-            peaks, between / (1.0 + worst_within / scale), -np.inf
+        peak_flat = np.flatnonzero(peaks)
+        penalized = between.ravel()[peak_flat] / (
+            1.0 + worst_within.ravel()[peak_flat] / scale
         )
-        flat = np.argsort(penalized, axis=None)[::-1]
+        ranked = peak_flat[np.argsort(-penalized, kind="stable")]
         chosen = set(points)
-        for index in flat:
-            j, k = np.unravel_index(index, between.shape)
-            if not np.isfinite(penalized[j, k]):
-                break
-            if (int(j), int(k)) in chosen:
+        for j, k in zip(*np.unravel_index(ranked, between.shape)):
+            point = (int(j), int(k))
+            if point in chosen:
                 continue
-            points.append((int(j), int(k)))
-            chosen.add((int(j), int(k)))
+            points.append(point)
+            chosen.add(point)
             if len(points) == top_k:
                 break
     return PairSelection(
@@ -159,6 +216,91 @@ def select_pair_points(
         peaks_mask=peaks,
         relaxed=relaxed,
     )
+
+
+class _PairSelectionTask:
+    """Picklable per-class-pair selection job for the worker pool.
+
+    Holds the shared inputs (stats, cached within fields, the batched
+    between-field stack) once; each work item is a pair index into the
+    deterministic ``itertools.combinations`` pair list, so results come
+    back in the same order the serial loop would produce them.
+    """
+
+    def __init__(
+        self,
+        stats_by_class: Mapping[str, WaveletStats],
+        names: Sequence[str],
+        pairs: Sequence[Tuple[int, int]],
+        within: Mapping[str, np.ndarray],
+        nvp: Mapping[str, np.ndarray],
+        between_stack: np.ndarray,
+        kl_threshold,
+        top_k: int,
+    ) -> None:
+        self.stats_by_class = dict(stats_by_class)
+        self.names = list(names)
+        self.pairs = list(pairs)
+        self.within = dict(within)
+        self.nvp = dict(nvp)
+        self.between_stack = between_stack
+        self.kl_threshold = kl_threshold
+        self.top_k = top_k
+
+    def __call__(self, pair_index: int) -> PairSelection:
+        a, b = self.pairs[pair_index]
+        name_a, name_b = self.names[a], self.names[b]
+        return select_pair_points(
+            self.stats_by_class[name_a],
+            self.stats_by_class[name_b],
+            kl_threshold=self.kl_threshold,
+            top_k=self.top_k,
+            class_a=name_a,
+            class_b=name_b,
+            within_a=self.within[name_a],
+            within_b=self.within[name_b],
+            between=self.between_stack[pair_index],
+            nvp_a=self.nvp[name_a],
+            nvp_b=self.nvp[name_b],
+        )
+
+
+def select_all_pairs(
+    stats_by_class: Mapping[str, WaveletStats],
+    kl_threshold=0.005,
+    top_k: int = 5,
+    names: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = None,
+) -> List[PairSelection]:
+    """Batched selection over every class pair (the multi-class fast path).
+
+    Within fields are computed once per class (fused program-pair
+    kernel) and each class's NVP threshold and mask are resolved once —
+    not once per pair appearance, which matters for ``"auto"``
+    (quantile) thresholds.  The between fields for all ``K(K-1)/2``
+    pairs come from one fused stacked evaluation, and the per-pair peak
+    ranking fans over the process pool (``n_jobs`` → ``REPRO_N_JOBS`` →
+    serial) with results in deterministic pair order for any worker
+    count.
+    """
+    if names is None:
+        names = list(stats_by_class)
+    within = {
+        name: within_class_kl(stats_by_class[name], batched=True)
+        for name in names
+    }
+    nvp = {
+        name: within[name] < resolve_threshold(kl_threshold, within[name])
+        for name in names
+    }
+    stacked = StackedClassStats.from_stats(stats_by_class, names)
+    between_stack = between_class_kl_matrix(stacked)
+    pairs = list(itertools.combinations(range(len(names)), 2))
+    task = _PairSelectionTask(
+        stats_by_class, names, pairs, within, nvp, between_stack,
+        kl_threshold, top_k,
+    )
+    return parallel_map(task, range(len(pairs)), n_jobs=n_jobs)
 
 
 def unify_points(selections: Sequence[PairSelection]) -> List[Point]:
@@ -174,38 +316,75 @@ class DnvpSelector:
         kl_threshold: within-class stability threshold ``KL_th``
             (paper: 0.005; 0.0005 with covariate shift adaptation).
         top_k: peaks kept per class pair (paper: 5).
+        n_jobs: worker count for the per-pair selection fan (``None`` →
+            ``REPRO_N_JOBS`` → serial); any value yields identical points.
     """
 
-    def __init__(self, kl_threshold=0.005, top_k: int = 5) -> None:
+    def __init__(
+        self, kl_threshold=0.005, top_k: int = 5, n_jobs: Optional[int] = None
+    ) -> None:
         self.kl_threshold = kl_threshold
         self.top_k = top_k
+        self.n_jobs = n_jobs
         self.pair_selections: List[PairSelection] = []
         self.points: List[Point] = []
         self.pair_points: Dict[Tuple[str, str], List[Point]] = {}
 
-    def fit(self, stats_by_class: Mapping[str, WaveletStats]) -> "DnvpSelector":
-        """Select unified feature points from all class pairs."""
-        names = list(stats_by_class)
-        within = {
-            name: within_class_kl(stats_by_class[name]) for name in names
+    def _finalize(self, selections: Sequence[PairSelection]) -> "DnvpSelector":
+        self.pair_selections = list(selections)
+        self.pair_points = {
+            (sel.class_a, sel.class_b): sel.points for sel in selections
         }
-        self.pair_selections = []
-        self.pair_points = {}
-        for name_a, name_b in itertools.combinations(names, 2):
-            selection = select_pair_points(
-                stats_by_class[name_a],
-                stats_by_class[name_b],
-                kl_threshold=self.kl_threshold,
-                top_k=self.top_k,
-                class_a=name_a,
-                class_b=name_b,
-                within_a=within[name_a],
-                within_b=within[name_b],
-            )
-            self.pair_selections.append(selection)
-            self.pair_points[(name_a, name_b)] = selection.points
         self.points = unify_points(self.pair_selections)
         return self
+
+    def fit(
+        self,
+        stats_by_class: Mapping[str, WaveletStats],
+        batched: Optional[bool] = None,
+    ) -> "DnvpSelector":
+        """Select unified feature points from all class pairs.
+
+        ``batched=None`` follows ``REPRO_BATCHED_TRAIN`` (default on);
+        both paths select identical points.
+        """
+        if batched is None:
+            batched = batched_train_enabled()
+        if not batched:
+            return self.fit_reference(stats_by_class)
+        return self._finalize(
+            select_all_pairs(
+                stats_by_class,
+                kl_threshold=self.kl_threshold,
+                top_k=self.top_k,
+                n_jobs=self.n_jobs,
+            )
+        )
+
+    def fit_reference(
+        self, stats_by_class: Mapping[str, WaveletStats]
+    ) -> "DnvpSelector":
+        """Serial reference fit: per-pair Python loop, loop-based KL fields."""
+        names = list(stats_by_class)
+        within = {
+            name: within_class_kl_reference(stats_by_class[name])
+            for name in names
+        }
+        selections = []
+        for name_a, name_b in itertools.combinations(names, 2):
+            selections.append(
+                select_pair_points(
+                    stats_by_class[name_a],
+                    stats_by_class[name_b],
+                    kl_threshold=self.kl_threshold,
+                    top_k=self.top_k,
+                    class_a=name_a,
+                    class_b=name_b,
+                    within_a=within[name_a],
+                    within_b=within[name_b],
+                )
+            )
+        return self._finalize(selections)
 
     @property
     def n_points(self) -> int:

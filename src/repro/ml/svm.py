@@ -15,10 +15,11 @@ exactly like LIBSVM.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..util.parallel import parallel_map
 from .base import Classifier, check_Xy
 
 __all__ = ["SVC", "rbf_kernel", "linear_kernel"]
@@ -134,6 +135,47 @@ class _BinarySVM:
         return K @ self.dual_coef_ + self.rho_
 
 
+class _SvmPairFitTask:
+    """Picklable per-pair SMO fit job for the worker pool.
+
+    The SMO solve is the expensive, non-shareable part of an SVM
+    ensemble (no sufficient-statistic shortcut exists), so pairs are the
+    natural parallel unit.  Each item is a pair index; the task carries
+    the full data once and slices the pair subset in the worker.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        classes: np.ndarray,
+        pairs: List[Tuple[int, int]],
+        C: float,
+        kernel: str,
+        gamma: float,
+        tol: float,
+        max_iter: int,
+    ) -> None:
+        self.X = X
+        self.y = y
+        self.classes = classes
+        self.pairs = pairs
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self.tol = tol
+        self.max_iter = max_iter
+
+    def __call__(self, pair_index: int) -> "_BinarySVM":
+        a, b = self.pairs[pair_index]
+        mask = (self.y == self.classes[a]) | (self.y == self.classes[b])
+        Xp = self.X[mask]
+        y_pm = np.where(self.y[mask] == self.classes[a], 1.0, -1.0)
+        machine = _BinarySVM(self.C, self.kernel, self.gamma, self.tol,
+                             self.max_iter)
+        return machine.fit(Xp, y_pm)
+
+
 class SVC(Classifier):
     """C-SVM classifier (binary or one-vs-one multiclass).
 
@@ -143,6 +185,9 @@ class SVC(Classifier):
         gamma: RBF width; ``"scale"`` uses ``1 / (p * X.var())``.
         tol: working-pair KKT violation stopping tolerance.
         max_iter: SMO iteration cap per binary problem.
+        n_jobs: worker count for the per-pair SMO solves (``None`` →
+            ``REPRO_N_JOBS`` → serial); the solves are deterministic per
+            pair, so any worker count yields identical machines.
     """
 
     def __init__(
@@ -152,6 +197,7 @@ class SVC(Classifier):
         gamma="scale",
         tol: float = 1e-3,
         max_iter: int = 100_000,
+        n_jobs: Optional[int] = None,
     ):
         if kernel not in _KERNELS:
             raise ValueError(f"unknown kernel {kernel!r}")
@@ -160,6 +206,7 @@ class SVC(Classifier):
         self.gamma = gamma
         self.tol = tol
         self.max_iter = max_iter
+        self.n_jobs = n_jobs
 
     def _resolve_gamma(self, X: np.ndarray) -> float:
         if self.gamma == "scale":
@@ -173,17 +220,15 @@ class SVC(Classifier):
         X, y = check_Xy(X, y)
         self.classes_ = np.unique(y)
         self.gamma_ = self._resolve_gamma(X)
-        self._machines: Dict[Tuple[int, int], _BinarySVM] = {}
-        self._pair_data: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
-        for a, b in itertools.combinations(range(len(self.classes_)), 2):
-            mask = (y == self.classes_[a]) | (y == self.classes_[b])
-            Xp = X[mask]
-            y_pm = np.where(y[mask] == self.classes_[a], 1.0, -1.0)
-            machine = _BinarySVM(
-                self.C, self.kernel, self.gamma_, self.tol, self.max_iter
-            )
-            machine.fit(Xp, y_pm)
-            self._machines[(a, b)] = machine
+        pairs = list(itertools.combinations(range(len(self.classes_)), 2))
+        task = _SvmPairFitTask(
+            X, y, self.classes_, pairs,
+            self.C, self.kernel, self.gamma_, self.tol, self.max_iter,
+        )
+        machines = parallel_map(task, range(len(pairs)), n_jobs=self.n_jobs)
+        self._machines: Dict[Tuple[int, int], _BinarySVM] = dict(
+            zip(pairs, machines)
+        )
         return self
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:

@@ -26,7 +26,21 @@ from ..isa.assembler import Instruction
 from ..isa.groups import classification_classes
 from ..sim.cpu import AvrCpu
 from ..sim.state import SRAM_START
+from ..util.env import env_int
 from ..util.parallel import parallel_map
+
+#: Minimum program files per worker before capture goes parallel.  One
+#: file costs ~10 ms to capture while a worker process costs tens of ms
+#: to spawn and feed, so small captures are *slower* on the pool — the
+#: PR-1 throughput bench measured a 4-file/2-worker capture at ~2.3×
+#: the serial time.  Below ``REPRO_PARALLEL_MIN_FILES`` files per worker
+#: (default 4) the pool shrinks, down to the serial path; results are
+#: identical either way.
+_DEFAULT_MIN_FILES_PER_WORKER = 4
+
+
+def _min_files_per_worker() -> int:
+    return max(1, env_int("REPRO_PARALLEL_MIN_FILES", _DEFAULT_MIN_FILES_PER_WORKER))
 from .config import DEFAULT_GEOMETRY, PowerModelConfig, TraceGeometry
 from .dataset import TraceSet
 from .device import DeviceProfile, ProgramShift, SessionShift
@@ -458,7 +472,11 @@ class Acquisition:
 
         Files are independent work items (each owns a derived sub-seed),
         captured serially or on a process pool (``n_jobs``); the result
-        is bit-for-bit identical either way.
+        is bit-for-bit identical either way.  A workload-size heuristic
+        keeps small captures serial: the pool is only engaged when every
+        worker gets at least ``REPRO_PARALLEL_MIN_FILES`` files
+        (default 4), since per-file work is far cheaper than worker
+        startup below that.
 
         Returns:
             ``(windows, program_ids)`` arrays.
@@ -478,7 +496,10 @@ class Acquisition:
         ]
         run = _FileCaptureTask(self, class_key, label, fixed, target_sampler)
         all_windows = parallel_map(
-            run, tasks, n_jobs=n_jobs if n_jobs is not None else self.n_jobs
+            run,
+            tasks,
+            n_jobs=n_jobs if n_jobs is not None else self.n_jobs,
+            min_items_per_worker=_min_files_per_worker(),
         )
         program_ids: List[int] = []
         for (file_index, count), _ in zip(tasks, all_windows):

@@ -23,7 +23,6 @@ per-chip process variation on top.
 
 from __future__ import annotations
 
-import os
 import zlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +30,7 @@ import numpy as np
 
 from ..sim.cpu import canonicalize
 from ..sim.events import ExecEvent
+from ..util.env import env_flag
 from .config import DEFAULT_GEOMETRY, PowerModelConfig, TraceGeometry
 from .device import DeviceProfile
 
@@ -692,9 +692,7 @@ class PowerModel:
                 relative).
         """
         if batched is None:
-            batched = os.environ.get(
-                "REPRO_BATCHED_RENDER", "1"
-            ).strip().lower() not in ("0", "false", "off")
+            batched = env_flag("REPRO_BATCHED_RENDER", True)
         if batched:
             return self._render_events_batched(events)
         return self.render_events_serial(events)

@@ -1,5 +1,12 @@
-"""Shared utilities (parallel execution helpers)."""
+"""Shared utilities (parallel execution helpers, env knob parsing)."""
 
-from .parallel import parallel_map, resolve_n_jobs
+from .env import env_flag, env_int
+from .parallel import effective_workers, parallel_map, resolve_n_jobs
 
-__all__ = ["parallel_map", "resolve_n_jobs"]
+__all__ = [
+    "effective_workers",
+    "env_flag",
+    "env_int",
+    "parallel_map",
+    "resolve_n_jobs",
+]

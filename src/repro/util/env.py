@@ -1,0 +1,36 @@
+"""Environment-variable knob parsing shared by the fast paths.
+
+Every vectorized/parallel fast path in this package is opt-out through an
+environment variable (``REPRO_BATCHED_RENDER``, ``REPRO_BATCHED_TRAIN``,
+``REPRO_PARALLEL_MIN_FILES``, ...).  The parsing rules live here so each
+knob behaves identically: flags accept ``0/false/off`` (case-insensitive)
+as disabled and anything else as enabled; integer knobs fall back to
+their default on unparsable values instead of raising at import time.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["env_flag", "env_int"]
+
+_FALSY = ("0", "false", "off")
+
+
+def env_flag(name: str, default: bool = True) -> bool:
+    """Read a boolean knob; unset returns ``default``."""
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in _FALSY
+
+
+def env_int(name: str, default: int) -> int:
+    """Read an integer knob; unset or unparsable returns ``default``."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default

@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-__all__ = ["parallel_map", "resolve_n_jobs"]
+__all__ = ["effective_workers", "parallel_map", "resolve_n_jobs"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -44,6 +44,25 @@ def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
     return int(n_jobs)
 
 
+def effective_workers(
+    n_items: int, n_jobs: int, min_items_per_worker: int = 1
+) -> int:
+    """Cap a worker count so each worker gets enough items to pay off.
+
+    Process pools have a fixed startup + pickling cost; when the work per
+    worker is smaller than that cost, the pool is *slower* than the serial
+    loop.  This caps ``n_jobs`` so every worker receives at least
+    ``min_items_per_worker`` items — with the cap active, small workloads
+    degrade gracefully to fewer workers and ultimately to serial
+    execution (a return value of 1).
+    """
+    if n_jobs <= 1 or n_items <= 1:
+        return 1
+    if min_items_per_worker <= 1:
+        return n_jobs
+    return max(1, min(n_jobs, n_items // min_items_per_worker))
+
+
 def _serial_map(fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
     return [fn(item) for item in items]
 
@@ -52,6 +71,7 @@ def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     n_jobs: Optional[int] = None,
+    min_items_per_worker: int = 1,
 ) -> List[_R]:
     """Map ``fn`` over ``items``, optionally on a process pool.
 
@@ -67,9 +87,15 @@ def parallel_map(
         fn: callable applied to each item (module-level for pool use).
         items: work items; consumed eagerly.
         n_jobs: worker count, resolved via :func:`resolve_n_jobs`.
+        min_items_per_worker: workload-size heuristic — shrink the pool
+            (possibly to serial) so each worker gets at least this many
+            items (see :func:`effective_workers`).  Results are identical
+            for any value; it only moves the serial/parallel cutover.
     """
     work = list(items)
-    n_jobs = resolve_n_jobs(n_jobs)
+    n_jobs = effective_workers(
+        len(work), resolve_n_jobs(n_jobs), min_items_per_worker
+    )
     if n_jobs <= 1 or len(work) <= 1:
         return _serial_map(fn, work)
     try:

@@ -113,6 +113,41 @@ class TestHierarchy:
         assert dis.n_binary_classifiers_flat == 4 * 3 // 2
 
 
+class TestBatchedInference:
+    """Parity of the grouped-batch level-2 walk vs the per-row reference."""
+
+    def test_batched_matches_reference(self, small_world):
+        acq, dis, g1, g5 = small_world
+        windows = np.concatenate([g1.traces[:15], g5.traces[:15]])
+        batched = dis.predict_instructions(windows, adapt=False, batched=True)
+        reference = dis.predict_instructions_reference(windows, adapt=False)
+        assert batched == reference
+
+    def test_batched_matches_reference_with_given_groups(self, small_world):
+        acq, dis, g1, g5 = small_world
+        windows = g5.traces[:20]
+        groups = dis.predict_groups(windows, adapt=False)
+        assert dis.predict_instructions(
+            windows, groups, adapt=False, batched=True
+        ) == dis.predict_instructions_reference(windows, groups, adapt=False)
+
+    def test_env_flag_forces_reference(self, small_world, monkeypatch):
+        acq, dis, g1, g5 = small_world
+        windows = g1.traces[:10]
+        monkeypatch.setenv("REPRO_BATCHED_TRAIN", "0")
+        forced = dis.predict_instructions(windows, adapt=False)
+        assert forced == dis.predict_instructions_reference(windows, adapt=False)
+
+    def test_missing_level_parity(self, small_world):
+        acq, dis, g1, g5 = small_world
+        fresh = SideChannelDisassembler(FAST, classifier_factory=QDA)
+        fresh.group_model = dis.group_model
+        windows = g1.traces[:8]
+        assert fresh.predict_instructions(
+            windows, adapt=False, batched=True
+        ) == fresh.predict_instructions_reference(windows, adapt=False)
+
+
 class TestCsaConfigHelper:
     def test_threshold_tightened(self):
         base = FeatureConfig(kl_threshold=0.005, normalize="none")

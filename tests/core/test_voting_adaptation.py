@@ -50,6 +50,37 @@ class TestVoting:
         with pytest.raises(RuntimeError):
             PairwiseVotingClassifier().predict(np.zeros((2, 315)))
 
+    def test_vectorized_predict_matches_reference(self, g1_subset):
+        train, test = g1_subset
+        voting = PairwiseVotingClassifier(
+            FeatureConfig(kl_threshold="auto:0.9", n_components=3),
+            classifier_factory=QDA,
+            n_variables=3,
+        )
+        voting.fit(train)
+        np.testing.assert_array_equal(
+            voting.predict(test.traces),
+            voting.predict_reference(test.traces),
+        )
+
+    def test_batched_fit_matches_reference_fit(self, g1_subset, monkeypatch):
+        """REPRO_BATCHED_TRAIN=0 selects identical per-pair points."""
+        train, test = g1_subset
+        config = FeatureConfig(kl_threshold="auto:0.9", n_components=3)
+        fast = PairwiseVotingClassifier(
+            config, classifier_factory=QDA, n_variables=3
+        )
+        fast.fit(train)
+        monkeypatch.setenv("REPRO_BATCHED_TRAIN", "0")
+        slow = PairwiseVotingClassifier(
+            config, classifier_factory=QDA, n_variables=3
+        )
+        slow.fit(train)
+        assert fast._points == slow._points
+        np.testing.assert_array_equal(
+            fast.predict(test.traces), slow.predict(test.traces)
+        )
+
     def test_points_per_pair_default(self):
         voting = PairwiseVotingClassifier(n_variables=3)
         assert voting.points_per_pair == 10

@@ -119,6 +119,70 @@ class TestFit:
             )
 
 
+class TestSinglePassFit:
+    """fit_transform and the statistics-pass image cache."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(5)
+        return synthetic_traces(rng, 45)
+
+    def _config(self):
+        return FeatureConfig(
+            kl_threshold="auto:0.9", n_components=4, cwt=SMALL_CWT
+        )
+
+    def test_fit_transform_matches_fit_then_transform(self, data):
+        traces, labels, pids, names = data
+        features = FeaturePipeline(self._config()).fit_transform(
+            traces, labels, pids, names
+        )
+        reference = (
+            FeaturePipeline(self._config())
+            .fit(traces, labels, pids, names)
+            .transform(traces)
+        )
+        # Cached-image gathers and the sparse point evaluation agree to
+        # float32 rounding of the wavelet magnitudes (~1e-7 absolute).
+        np.testing.assert_allclose(
+            features, reference, rtol=1e-4, atol=1e-5
+        )
+
+    def test_fit_transform_truncates_components(self, data):
+        traces, labels, pids, names = data
+        features = FeaturePipeline(self._config()).fit_transform(
+            traces, labels, pids, names, n_components=2
+        )
+        assert features.shape == (len(traces), 2)
+
+    def test_image_cache_matches_point_transform(self, data, monkeypatch):
+        """Gathered point values track the sparse CWT evaluation."""
+        traces, labels, pids, names = data
+        cached = FeaturePipeline(self._config()).fit(
+            traces, labels, pids, names
+        )
+        monkeypatch.setenv("REPRO_FIT_CACHE_MB", "0")
+        uncached = FeaturePipeline(self._config()).fit(
+            traces, labels, pids, names
+        )
+        assert cached.points == uncached.points
+        # FFT-stage scales gather bit-identically; GEMM scales may
+        # differ by float32 rounding between the full-plane and
+        # sparse evaluations.
+        np.testing.assert_allclose(
+            cached.transform(traces),
+            uncached.transform(traces),
+            rtol=1e-4, atol=1e-5,
+        )
+
+    def test_cache_budget_gate(self, data):
+        traces, _, _, _ = data
+        pipe = FeaturePipeline(self._config())
+        assert pipe._image_cache_fits(traces)
+        big = np.zeros((10_000_000, 315), dtype=np.float32)
+        assert not pipe._image_cache_fits(big)
+
+
 class TestNormalizationModes:
     def test_batch_mode_removes_gain_shift(self):
         rng = np.random.default_rng(6)

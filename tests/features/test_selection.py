@@ -118,6 +118,71 @@ class TestPairSelection:
         assert set(selection.points) <= set(planted)
 
 
+class TestStableTieBreak:
+    """Regression tests: tie order of equal-valued points is the flat
+    (row-major) point order, not whatever ``argsort(...)[::-1]`` produced."""
+
+    def test_descending_order_ties_by_lowest_flat_index(self):
+        from repro.features.selection import _descending_order
+
+        values = np.array([[0.0, 2.0, 0.0], [2.0, 0.0, 2.0]])
+        order = _descending_order(values)
+        # The three tied maxima come first, in flat order 1 < 3 < 5.
+        assert order[:3].tolist() == [1, 3, 5]
+
+    def test_neg_inf_sentinels_sort_last(self):
+        from repro.features.selection import _descending_order
+
+        values = np.array([[-np.inf, 1.0], [1.0, -np.inf]])
+        order = _descending_order(values)
+        assert order[:2].tolist() == [1, 2]
+        assert set(order[2:].tolist()) == {0, 3}
+
+    def test_tied_field_selects_lowest_flat_indices_first(self):
+        """Equal-height isolated peaks must be picked in flat point order."""
+        rng = np.random.default_rng(5)
+        stats_a, stats_b = _stats_pair(rng, [])
+        between = np.zeros((6, 20))
+        # Four isolated peaks of identical height, flat order:
+        # (0, 2) < (0, 17) < (3, 9) < (5, 4).
+        peaks = [(0, 2), (0, 17), (3, 9), (5, 4)]
+        for (j, k) in peaks:
+            between[j, k] = 7.0
+        zeros = np.zeros_like(between)
+        selection = select_pair_points(
+            stats_a,
+            stats_b,
+            kl_threshold=1.0,
+            top_k=3,
+            within_a=zeros,
+            within_b=zeros,
+            between=between,
+        )
+        assert selection.points == [(0, 2), (0, 17), (3, 9)]
+
+    def test_relaxed_tier_also_stable(self):
+        rng = np.random.default_rng(6)
+        stats_a, stats_b = _stats_pair(rng, [])
+        between = np.zeros((4, 10))
+        peaks = [(0, 1), (1, 4), (2, 7), (3, 2)]
+        for (j, k) in peaks:
+            between[j, k] = 3.0
+        # Nothing passes the strict threshold -> relaxation tier ranks
+        # all peaks; ties must still come back in flat order.
+        ones = np.ones_like(between)
+        selection = select_pair_points(
+            stats_a,
+            stats_b,
+            kl_threshold=0.5,
+            top_k=4,
+            within_a=ones,
+            within_b=ones,
+            between=between,
+        )
+        assert selection.relaxed
+        assert selection.points == sorted(peaks)
+
+
 class TestSelectorAndExtract:
     def test_multiclass_union(self):
         rng = np.random.default_rng(4)

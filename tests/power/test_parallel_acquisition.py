@@ -45,6 +45,78 @@ class TestParallelMap:
         assert resolve_n_jobs(None) == 1
 
 
+class TestEffectiveWorkers:
+    """Workload-size heuristic: small captures must not pay pool overhead."""
+
+    def test_small_workload_degrades_to_serial(self):
+        from repro.util.parallel import effective_workers
+
+        assert effective_workers(4, 2, min_items_per_worker=4) == 1
+        assert effective_workers(3, 8, min_items_per_worker=4) == 1
+
+    def test_large_workload_keeps_requested_workers(self):
+        from repro.util.parallel import effective_workers
+
+        assert effective_workers(32, 4, min_items_per_worker=4) == 4
+        assert effective_workers(9, 4, min_items_per_worker=4) == 2
+
+    def test_min_one_disables_heuristic(self):
+        from repro.util.parallel import effective_workers
+
+        assert effective_workers(2, 8, min_items_per_worker=1) == 8
+
+    def test_serial_requests_stay_serial(self):
+        from repro.util.parallel import effective_workers
+
+        assert effective_workers(100, 1, min_items_per_worker=4) == 1
+        assert effective_workers(0, 8, min_items_per_worker=4) == 1
+
+    def test_parallel_map_threshold_still_matches_serial(self):
+        items = list(range(6))
+        serial = parallel_map(_module_double, items, n_jobs=1)
+        capped = parallel_map(
+            _module_double, items, n_jobs=4, min_items_per_worker=4
+        )
+        assert capped == serial
+
+    def test_capture_class_env_knob_bit_exact(self, monkeypatch):
+        """REPRO_PARALLEL_MIN_FILES moves the cutover, never the data."""
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_FILES", "1")
+        eager_w, eager_p = Acquisition(seed=44).capture_class(
+            "ADC", 16, n_programs=4, n_jobs=4
+        )
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_FILES", "100")
+        capped_w, capped_p = Acquisition(seed=44).capture_class(
+            "ADC", 16, n_programs=4, n_jobs=4
+        )
+        np.testing.assert_array_equal(eager_w, capped_w)
+        np.testing.assert_array_equal(eager_p, capped_p)
+
+
+class TestEnvKnobs:
+    def test_env_flag_falsy_spellings(self, monkeypatch):
+        from repro.util.env import env_flag
+
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_flag("REPRO_TEST_KNOB", True) is True
+        assert env_flag("REPRO_TEST_KNOB", False) is False
+        for falsy in ("0", "false", "OFF", " Off "):
+            monkeypatch.setenv("REPRO_TEST_KNOB", falsy)
+            assert env_flag("REPRO_TEST_KNOB", True) is False
+        monkeypatch.setenv("REPRO_TEST_KNOB", "1")
+        assert env_flag("REPRO_TEST_KNOB", False) is True
+
+    def test_env_int_fallbacks(self, monkeypatch):
+        from repro.util.env import env_int
+
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_int("REPRO_TEST_KNOB", 7) == 7
+        monkeypatch.setenv("REPRO_TEST_KNOB", "12")
+        assert env_int("REPRO_TEST_KNOB", 7) == 12
+        monkeypatch.setenv("REPRO_TEST_KNOB", "junk")
+        assert env_int("REPRO_TEST_KNOB", 7) == 7
+
+
 class TestParallelCaptureDeterminism:
     def test_capture_class_bit_exact_across_worker_counts(self):
         serial_acq = Acquisition(seed=123)

@@ -6,8 +6,6 @@ These benchmarks measure our pipeline's classification latency per window
 and the substrate's capture throughput.
 """
 
-import os
-
 import numpy as np
 import pytest
 
@@ -18,6 +16,7 @@ from repro.features import DnvpSelector, FeatureConfig, WaveletStats
 from repro.ml import OneVsOneClassifier, QDA
 from repro.power import Acquisition, PowerModel
 from repro.sim import AvrCpu
+from repro.util.knobs import get_int
 
 
 @pytest.fixture(scope="module")
@@ -92,7 +91,7 @@ def test_capture_class_parallel_throughput(benchmark):
     pool only adds overhead, so compare against the serial number above
     with the host's core count in mind.
     """
-    n_jobs = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
+    n_jobs = get_int("REPRO_BENCH_JOBS")
     acq = Acquisition(seed=88, n_jobs=n_jobs)
     acq.reference_window()
     windows = benchmark(

@@ -6,10 +6,11 @@ and writes the rendered result table to ``benchmarks/results/`` so the
 regenerated numbers are inspectable after the run.
 """
 
-import os
 from pathlib import Path
 
 import pytest
+
+from repro.util.knobs import get_str
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -17,7 +18,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def bench_scale():
     """Scale preset used by all benchmarks."""
-    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+    return get_str("REPRO_BENCH_SCALE")
 
 
 @pytest.fixture(scope="session")

@@ -80,8 +80,8 @@ __all__ = [
     "ShiftReport",
     "SideChannelDisassembler",
     "TraceSet",
+    "__version__",
     "assemble",
     "disassemble",
     "make_devices",
-    "__version__",
 ]

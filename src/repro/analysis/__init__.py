@@ -1,0 +1,54 @@
+"""replint — self-hosted static analysis for the reproduction's invariants.
+
+PRs 1–2 made every hot path dual: a vectorized fast path shadowed by a
+serial ``*_reference``, gated by a ``REPRO_*`` knob, and parity-tested.
+Those invariants used to live in reviewers' heads; this package makes
+them machine-checked.  Six AST-based rules run over ``src`` and
+``tests`` (``python -m repro.analysis``), in CI, and must stay green:
+
+========  ==================  ==================================================
+Code      Name                Invariant
+========  ==================  ==================================================
+REP001    knob-registry       ``REPRO_*`` knobs declared in
+                              :mod:`repro.util.knobs`; ``os.environ`` only in
+                              :mod:`repro.util.env`
+REP002    parity              every public ``X``/``X_reference`` pair has a
+                              test module exercising both
+REP003    determinism         no global ``np.random``, wall-clock reads, or
+                              set-order iteration in library code
+REP004    accumulation-dtype  reductions in ``features/`` and
+                              ``ml/suffstats.py`` pin ``dtype=``
+REP005    export-hygiene      ``__all__`` present, sorted, resolvable
+REP006    import-layering     ``isa``/``sim``/``dsp`` never import
+                              ``experiments``
+========  ==================  ==================================================
+
+Findings are suppressed inline with a justification::
+
+    started = time.time()  # replint: disable=REP003 -- progress display
+
+See DESIGN.md §10 for the suppression policy.
+"""
+
+from __future__ import annotations
+
+from .core import RULE_REGISTRY, FileContext, Finding, Rule
+from .docs import check_knob_table, sync_knob_table
+from .reporters import render_json, render_text
+from .rules import all_rules
+from .runner import ScanResult, iter_python_files, run
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "RULE_REGISTRY",
+    "Rule",
+    "ScanResult",
+    "all_rules",
+    "check_knob_table",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+    "run",
+    "sync_knob_table",
+]

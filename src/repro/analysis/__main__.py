@@ -1,0 +1,12 @@
+"""``python -m repro.analysis`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+__all__: list = []
+
+if __name__ == "__main__":
+    sys.exit(main())

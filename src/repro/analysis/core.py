@@ -1,0 +1,217 @@
+"""Framework for ``replint`` — findings, file contexts, the rule registry.
+
+The checker is deliberately small: a rule is a class with a ``code``
+(``REP001``...), a one-line ``description``, and up to three hooks —
+
+* :meth:`Rule.check_file` — per-file AST checks, runs on the worker pool;
+* :meth:`Rule.collect` — extract a *picklable* fact bundle from one file
+  (also on the pool);
+* :meth:`Rule.finalize` — cross-file checks over every collected fact
+  bundle (runs once, in the parent process).
+
+Per-file findings are filtered against inline suppressions before they
+leave the worker.  A suppression is a comment on the flagged line::
+
+    x = time.time()  # replint: disable=REP003 -- wall-clock display only
+
+``disable`` with no ``=CODE`` list silences every rule on that line, and
+``# replint: disable-file=REP003`` anywhere in a file silences one rule
+for the whole file (the justification text after ``--`` is free-form but
+expected by review convention).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "PARSE_ERROR_CODE",
+    "RULE_REGISTRY",
+    "Rule",
+    "Suppressions",
+    "iter_call_name",
+    "parse_suppressions",
+    "register_rule",
+]
+
+#: Pseudo-code attached to files the scanner cannot parse at all.
+PARSE_ERROR_CODE = "REP000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*replint:\s*(?P<scope>disable(?:-file)?)"
+    r"(?:\s*=\s*(?P<codes>[A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` (the text reporter's row)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Inline-comment suppression state for one file."""
+
+    #: line number -> codes silenced there (``None`` = every code).
+    by_line: Dict[int, Optional[FrozenSet[str]]] = field(default_factory=dict)
+    #: codes silenced for the entire file.
+    file_wide: FrozenSet[str] = frozenset()
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if finding.code in self.file_wide:
+            return True
+        codes = self.by_line.get(finding.line, False)
+        if codes is False:  # no comment on that line
+            return False
+        return codes is None or finding.code in codes  # type: ignore[operator]
+
+
+def parse_suppressions(source_lines: Sequence[str]) -> Suppressions:
+    """Extract ``# replint: disable[...]`` comments from physical lines.
+
+    This is a lexical scan, so a marker inside a string literal would
+    also count — acceptable for a self-hosted tool, and it keeps the
+    scanner independent of the tokenizer.
+    """
+    result = Suppressions()
+    file_wide: set = set()
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        raw_codes = match.group("codes")
+        codes = (
+            None
+            if raw_codes is None
+            else frozenset(c.strip() for c in raw_codes.split(","))
+        )
+        if match.group("scope") == "disable-file":
+            # An un-scoped disable-file would turn the checker off
+            # wholesale; require explicit codes.
+            if codes is not None:
+                file_wide.update(codes)
+        else:
+            result.by_line[lineno] = codes
+    result.file_wide = frozenset(file_wide)
+    return result
+
+
+class FileContext:
+    """Everything a per-file rule hook needs about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self.lines: List[str] = source.splitlines()
+        self.suppressions = parse_suppressions(self.lines)
+
+    # -- path classification -------------------------------------------------
+    @property
+    def module_name(self) -> str:
+        """Dotted module name for files under a ``src/`` root, else ``""``."""
+        parts = self.path.split("/")
+        if "src" not in parts:
+            return ""
+        rel = parts[parts.index("src") + 1 :]
+        if not rel or not rel[-1].endswith(".py"):
+            return ""
+        rel[-1] = rel[-1][: -len(".py")]
+        if rel[-1] == "__init__":
+            rel.pop()
+        return ".".join(rel)
+
+    @property
+    def in_library(self) -> bool:
+        """True for importable package code under ``src/repro``."""
+        return self.module_name.startswith("repro")
+
+    @property
+    def is_test(self) -> bool:
+        parts = self.path.split("/")
+        return "tests" in parts or parts[-1].startswith("test_")
+
+    @property
+    def is_entry_point(self) -> bool:
+        """``__main__`` modules: runnable, not part of the import surface."""
+        return self.path.endswith("/__main__.py")
+
+
+class Rule:
+    """Base class; concrete rules override the hooks they need."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        """Per-file findings (worker side).  Default: none."""
+        return []
+
+    def collect(self, ctx: FileContext) -> Optional[object]:
+        """Picklable fact bundle for :meth:`finalize` (worker side)."""
+        return None
+
+    def finalize(
+        self, facts: Sequence[Tuple[str, object]]
+    ) -> List[Finding]:
+        """Cross-file findings from every ``(path, fact)`` collected."""
+        return []
+
+    def finding(
+        self, ctx_or_path: object, node: ast.AST, message: str
+    ) -> Finding:
+        path = (
+            ctx_or_path.path
+            if isinstance(ctx_or_path, FileContext)
+            else str(ctx_or_path)
+        )
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+#: code -> rule class, in registration order.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"{cls.__name__} has no code")
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def iter_call_name(node: ast.AST) -> Optional[str]:
+    """Dotted name of a call target (``np.random.seed``), best effort."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,59 @@
+"""README knob-table synchronization.
+
+The tuning-knob table in README.md is generated from
+:data:`repro.util.knobs.KNOBS` and lives between two HTML-comment
+markers.  ``python -m repro.analysis --fix-docs`` rewrites the region;
+``--check-docs`` (run in CI) fails when the committed table differs from
+what the registry would generate, so a knob can never be added, retyped,
+or re-defaulted without the docs following in the same commit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..util.knobs import knob_table_markdown
+
+__all__ = ["BEGIN_MARKER", "END_MARKER", "check_knob_table", "sync_knob_table"]
+
+BEGIN_MARKER = "<!-- replint:knob-table -->"
+END_MARKER = "<!-- /replint:knob-table -->"
+
+
+def _split(text: str) -> Optional[tuple]:
+    start = text.find(BEGIN_MARKER)
+    end = text.find(END_MARKER)
+    if start < 0 or end < 0 or end < start:
+        return None
+    body_start = start + len(BEGIN_MARKER)
+    return text[:body_start], text[body_start:end], text[end:]
+
+
+def sync_knob_table(text: str) -> str:
+    """Return ``text`` with the marked region replaced by the generated
+    table; raises :class:`ValueError` when the markers are missing."""
+    parts = _split(text)
+    if parts is None:
+        raise ValueError(
+            f"README markers {BEGIN_MARKER!r} ... {END_MARKER!r} not found"
+        )
+    head, _, tail = parts
+    return f"{head}\n{knob_table_markdown()}{tail}"
+
+
+def check_knob_table(text: str) -> Optional[str]:
+    """``None`` when the committed table matches the registry, else a
+    human-readable error."""
+    parts = _split(text)
+    if parts is None:
+        return (
+            f"knob-table markers ({BEGIN_MARKER} ... {END_MARKER}) "
+            "missing from the README"
+        )
+    _, body, _ = parts
+    if body.strip() != knob_table_markdown().strip():
+        return (
+            "README knob table is out of sync with repro.util.knobs.KNOBS; "
+            "run `python -m repro.analysis --fix-docs`"
+        )
+    return None

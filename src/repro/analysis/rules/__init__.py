@@ -1,0 +1,28 @@
+"""The replint rule set (REP001–REP006).
+
+Importing this package populates :data:`repro.analysis.core.RULE_REGISTRY`;
+each module holds one rule so a rule's scope, heuristics, and rationale
+live next to its implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import RULE_REGISTRY, Rule
+from . import determinism, dtypes, exports, knobs, layering, parity
+
+__all__ = [
+    "all_rules",
+    "determinism",
+    "dtypes",
+    "exports",
+    "knobs",
+    "layering",
+    "parity",
+]
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [RULE_REGISTRY[code]() for code in sorted(RULE_REGISTRY)]

@@ -1,0 +1,142 @@
+"""REP005 — export hygiene: ``__all__`` present, sorted, resolvable.
+
+``tests/test_public_api.py`` walks ``__all__`` to lock the public
+surface, and the README's import examples assume star-import safety.
+That only works when every library module declares ``__all__``, keeps it
+strictly sorted (so diffs are one-line and merge cleanly), and only
+lists names the module actually binds at top level.
+
+``__main__.py`` entry points are exempt from the *presence* check — they
+are executed, never imported — but a present ``__all__`` is still
+checked for order and resolvability.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["ExportHygieneRule"]
+
+
+def _top_level_bindings(module: ast.Module) -> Set[str]:
+    """Names bound by top-level statements (descending into control flow,
+    not into function/class bodies)."""
+    bound: Set[str] = set()
+    stack: List[Sequence[ast.stmt]] = [module.body]
+    while stack:
+        body = stack.pop()
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(stmt.name)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            bound.add(node.id)
+            elif isinstance(stmt, (ast.If, ast.For, ast.AsyncFor, ast.While)):
+                stack.append(stmt.body)
+                stack.append(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                stack.append(stmt.body)
+                stack.append(stmt.orelse)
+                stack.append(stmt.finalbody)
+                for handler in stmt.handlers:
+                    stack.append(handler.body)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                stack.append(stmt.body)
+    return bound
+
+
+def _find_all(module: ast.Module) -> Optional[Tuple[ast.AST, List[str], bool]]:
+    """``(node, names, is_literal)`` for the top-level ``__all__``."""
+    for stmt in module.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        value = stmt.value
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(el, ast.Constant) and isinstance(el.value, str)
+            for el in value.elts
+        ):
+            names = [el.value for el in value.elts]
+            return stmt, names, True
+        return stmt, [], False
+    return None
+
+
+@register_rule
+class ExportHygieneRule(Rule):
+    code = "REP005"
+    name = "export-hygiene"
+    description = (
+        "__all__ must be present, a sorted list of string literals, and "
+        "only name top-level bindings"
+    )
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        if not ctx.in_library or ctx.is_test:
+            return []
+        found = _find_all(ctx.tree)
+        if found is None:
+            if ctx.is_entry_point:
+                return []
+            return [
+                self.finding(
+                    ctx,
+                    ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+                    "module has no __all__; declare its public surface",
+                )
+            ]
+        node, names, is_literal = found
+        if not is_literal:
+            return [
+                self.finding(
+                    ctx,
+                    node,
+                    "__all__ must be a literal list/tuple of strings so "
+                    "tooling can resolve it",
+                )
+            ]
+        findings: List[Finding] = []
+        if names != sorted(names):
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    "__all__ is not sorted; keep it strictly ordered for "
+                    "one-line diffs",
+                )
+            )
+        if len(set(names)) != len(names):
+            findings.append(
+                self.finding(ctx, node, "__all__ contains duplicate names")
+            )
+        bound = _top_level_bindings(ctx.tree)
+        for name in (n for n in names if n not in bound):
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"__all__ names {name!r} but the module never binds it",
+                )
+            )
+        return findings

@@ -1,0 +1,113 @@
+"""REP002 — every fast path with a ``*_reference`` twin is parity-tested.
+
+The performance architecture (DESIGN.md §9) keeps a slow, obviously
+correct ``*_reference`` implementation next to every vectorized fast
+path, and the contract is that a test exercises *both* — otherwise the
+pair silently drifts apart and the reference stops being a reference.
+
+Mechanics: each library file contributes its ``(qualname, base, ref)``
+sibling pairs (a ``def X_reference`` next to a ``def X`` in the same
+module or class body); each test file contributes the set of identifiers
+it mentions.  A pair passes when at least one test file mentions both
+names.  Private references (``_x_reference``) are exempt — the public
+wrapper's parity test covers them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["ParityRule"]
+
+_SUFFIX = "_reference"
+
+
+def _sibling_pairs(body: Sequence[ast.stmt]) -> List[Tuple[ast.AST, str, str]]:
+    """``(node, base, ref)`` for reference/fast-path pairs in one scope."""
+    defs = {
+        stmt.name: stmt
+        for stmt in body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    pairs = []
+    for name, node in defs.items():
+        if not name.endswith(_SUFFIX) or name.startswith("_"):
+            continue
+        base = name[: -len(_SUFFIX)]
+        if base in defs:
+            pairs.append((node, base, name))
+    return pairs
+
+
+@register_rule
+class ParityRule(Rule):
+    code = "REP002"
+    name = "parity"
+    description = (
+        "every public fast path with a *_reference sibling needs a test "
+        "module exercising both names"
+    )
+
+    def collect(self, ctx: FileContext) -> Optional[object]:
+        if ctx.is_test:
+            names: Set[str] = set()
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Name):
+                    names.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    names.add(node.attr)
+                elif isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    # getattr(obj, "fit_reference") style references count.
+                    names.add(node.value)
+            return ("test", sorted(names))
+        if not ctx.in_library:
+            return None
+        pairs: List[Tuple[int, int, str, str]] = []
+        scopes: List[Sequence[ast.stmt]] = [ctx.tree.body]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                scopes.append(node.body)
+        for body in scopes:
+            for def_node, base, ref in _sibling_pairs(body):
+                pairs.append(
+                    (def_node.lineno, def_node.col_offset + 1, base, ref)
+                )
+        if not pairs:
+            return None
+        return ("lib", pairs)
+
+    def finalize(
+        self, facts: Sequence[Tuple[str, object]]
+    ) -> List[Finding]:
+        test_names: List[Set[str]] = []
+        lib_pairs: List[Tuple[str, Tuple[int, int, str, str]]] = []
+        for path, fact in facts:
+            kind, payload = fact  # type: ignore[misc]
+            if kind == "test":
+                test_names.append(set(payload))
+            else:
+                for pair in payload:
+                    lib_pairs.append((path, pair))
+        findings: List[Finding] = []
+        for path, (line, col, base, ref) in lib_pairs:
+            if any(base in names and ref in names for names in test_names):
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col,
+                    code=self.code,
+                    message=(
+                        f"no test module references both {base!r} and "
+                        f"{ref!r}; add a parity test or the reference "
+                        "will drift"
+                    ),
+                )
+            )
+        return findings

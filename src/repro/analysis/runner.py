@@ -1,0 +1,134 @@
+"""File walk + two-phase rule execution for replint.
+
+Phase 1 (per-file, parallel): every file is parsed once; each rule's
+``check_file`` findings are filtered against inline suppressions, and
+each rule's ``collect`` fact bundle is captured.  The work fans out over
+:func:`repro.util.parallel.parallel_map`, which keeps results in input
+order and degrades to serial when the file set is small — the same
+machinery the capture loops use, now linting the code that built it.
+
+Phase 2 (cross-file, serial): each rule's ``finalize`` sees every
+``(path, fact)`` pair and emits findings that no single file can decide
+(knob-registry membership, parity-test coverage).  Cross-file findings
+are still subject to the owning file's inline suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..util.parallel import parallel_map
+from .core import PARSE_ERROR_CODE, Finding, Suppressions
+from .rules import all_rules
+
+__all__ = ["ScanResult", "iter_python_files", "run"]
+
+
+@dataclass
+class _FileScan:
+    """Picklable per-file scan output (worker -> parent)."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    facts: Dict[str, object] = field(default_factory=dict)
+    suppress_lines: Dict[int, Optional[FrozenSet[str]]] = field(
+        default_factory=dict
+    )
+    suppress_file: FrozenSet[str] = frozenset()
+
+
+@dataclass
+class ScanResult:
+    """Everything one replint run produced."""
+
+    findings: List[Finding]
+    n_files: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d
+                    for d in dirs
+                    if d not in ("__pycache__", ".git", ".pytest_cache")
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+    return sorted(set(f.replace("\\", "/") for f in files))
+
+
+def _scan_one(path: str) -> _FileScan:
+    """Parse one file and run every per-file hook (worker side)."""
+    from .core import FileContext  # local import keeps the worker light
+
+    result = _FileScan(path=path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError, ValueError) as exc:
+        lineno = getattr(exc, "lineno", 1) or 1
+        result.findings.append(
+            Finding(
+                path=path,
+                line=lineno,
+                col=1,
+                code=PARSE_ERROR_CODE,
+                message=f"cannot parse file: {exc}",
+            )
+        )
+        return result
+    ctx = FileContext(path, source, tree)
+    result.suppress_lines = dict(ctx.suppressions.by_line)
+    result.suppress_file = ctx.suppressions.file_wide
+    for rule in all_rules():
+        for finding in rule.check_file(ctx):
+            if not ctx.suppressions.is_suppressed(finding):
+                result.findings.append(finding)
+        fact = rule.collect(ctx)
+        if fact is not None:
+            result.facts[rule.code] = fact
+    return result
+
+
+def run(
+    paths: Sequence[str],
+    n_jobs: Optional[int] = None,
+) -> ScanResult:
+    """Lint ``paths`` and return every unsuppressed finding, sorted."""
+    files = iter_python_files(paths)
+    scans = parallel_map(
+        _scan_one, files, n_jobs=n_jobs, min_items_per_worker=16
+    )
+    findings: List[Finding] = []
+    suppressions: Dict[str, Suppressions] = {}
+    facts_by_rule: Dict[str, List[Tuple[str, object]]] = {}
+    for scan in scans:
+        findings.extend(scan.findings)
+        sup = Suppressions(by_line=scan.suppress_lines)
+        sup.file_wide = scan.suppress_file
+        suppressions[scan.path] = sup
+        for code, fact in scan.facts.items():
+            facts_by_rule.setdefault(code, []).append((scan.path, fact))
+    for rule in all_rules():
+        for finding in rule.finalize(facts_by_rule.get(rule.code, [])):
+            sup = suppressions.get(finding.path)
+            if sup is None or not sup.is_suppressed(finding):
+                findings.append(finding)
+    return ScanResult(findings=sorted(findings), n_files=len(files))

@@ -19,7 +19,6 @@ __all__ = [
     "DifferentialDetector",
     "DisassembledInstruction",
     "Discrepancy",
-    "majority_stream",
     "GoldenReference",
     "LevelModel",
     "MalwareDetector",
@@ -29,5 +28,6 @@ __all__ = [
     "ShiftReport",
     "SideChannelDisassembler",
     "csa_config",
+    "majority_stream",
     "render_partial",
 ]

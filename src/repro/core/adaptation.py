@@ -27,7 +27,7 @@ import numpy as np
 
 from ..features.pipeline import FeatureConfig
 
-__all__ = ["csa_config", "ShiftReport", "CSA_THRESHOLD_FACTOR"]
+__all__ = ["CSA_THRESHOLD_FACTOR", "ShiftReport", "csa_config"]
 
 #: The paper tightens KL_th by one order of magnitude (0.005 -> 0.0005).
 CSA_THRESHOLD_FACTOR = 0.1

@@ -35,7 +35,7 @@ from ..isa import REGISTRY, OperandKind
 from ..ml.base import Classifier
 from ..ml.discriminant import QDA
 from ..power.dataset import TraceSet
-from ..util.env import env_flag
+from ..util.knobs import get_flag
 from .types import DisassembledInstruction
 
 __all__ = ["LevelModel", "SideChannelDisassembler"]
@@ -226,7 +226,7 @@ class SideChannelDisassembler:
         it holds under ``adapt=False`` or non-batch normalization.
         """
         if batched is None:
-            batched = env_flag("REPRO_BATCHED_TRAIN", True)
+            batched = get_flag("REPRO_BATCHED_TRAIN")
         if not batched:
             return self.predict_instructions_reference(windows, groups, adapt)
         windows = np.asarray(windows)

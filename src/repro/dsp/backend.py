@@ -21,10 +21,11 @@ the process pool is also active).
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Optional
 
 import numpy as np
+
+from ..util.knobs import get_int, get_str
 
 __all__ = [
     "available_backends",
@@ -65,7 +66,7 @@ def get_backend() -> str:
     """The backend name transforms will run on right now."""
     if _override is not None:
         return _override
-    env = os.environ.get("REPRO_FFT_BACKEND", "").strip().lower()
+    env = get_str("REPRO_FFT_BACKEND")
     if env in ("scipy", "numpy"):
         if env == "scipy" and _scipy_fft is None:
             return "numpy"
@@ -75,10 +76,7 @@ def get_backend() -> str:
 
 def fft_workers() -> int:
     """Worker count used when a transform is called with ``workers=None``."""
-    try:
-        return max(1, int(os.environ.get("REPRO_FFT_WORKERS", "1")))
-    except ValueError:
-        return 1
+    return get_int("REPRO_FFT_WORKERS")
 
 
 def _dispatch(scipy_fn: Callable, numpy_fn: Callable):

@@ -55,7 +55,6 @@ config)``; everything in the package that needs a CWT goes through it.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from functools import cached_property, lru_cache
 from typing import Iterator, List, Optional, Tuple
@@ -63,17 +62,16 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from . import backend
+from ..util.knobs import get_float
 
 __all__ = [
-    "CwtConfig",
     "CWT",
+    "CwtConfig",
+    "clear_cwt_cache",
     "cwt_magnitude",
     "get_cwt",
-    "clear_cwt_cache",
 ]
 
-#: Default peak-memory budget for one transform chunk, in MiB.
-_DEFAULT_MEM_MB = 256.0
 #: Working-set target for the per-chunk FFT-stage buffers, in bytes.
 #: Keeping the stacked product + inverse output around L2 size wins
 #: ~30% over letting one huge batch stream through main memory.
@@ -250,12 +248,7 @@ class CWT:
     def _chunk_traces(self, max_mem_mb: Optional[float]) -> int:
         """Traces per chunk under the peak-memory budget."""
         if max_mem_mb is None:
-            try:
-                max_mem_mb = float(
-                    os.environ.get("REPRO_CWT_MEM_MB", _DEFAULT_MEM_MB)
-                )
-            except ValueError:
-                max_mem_mb = _DEFAULT_MEM_MB
+            max_mem_mb = get_float("REPRO_CWT_MEM_MB")
         itemsize = np.dtype(self._real_dtype).itemsize
         pair = 2 if self.config.magnitude else 1
         # Per trace: worst FFT stage's stacked product + inverse output.

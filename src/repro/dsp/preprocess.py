@@ -15,8 +15,8 @@ import numpy as np
 __all__ = [
     "align_traces",
     "remove_dc",
-    "standardize_traces",
     "standardize_features",
+    "standardize_traces",
 ]
 
 

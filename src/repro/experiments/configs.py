@@ -25,11 +25,11 @@ from ..ml.svm import SVC
 
 __all__ = [
     "CLASSIFIERS",
-    "stationary_config",
-    "register_config",
-    "no_csa_config",
-    "csa_config_nonorm",
     "csa_config_full",
+    "csa_config_nonorm",
+    "no_csa_config",
+    "register_config",
+    "stationary_config",
 ]
 
 #: The four classifier families the paper compares (§5.2).

@@ -21,7 +21,7 @@ from ..power.acquisition import Acquisition
 from .results import ResultTable
 from .scales import get_scale
 
-__all__ = ["run", "Fig2Fields"]
+__all__ = ["Fig2Fields", "run"]
 
 PAIR = ("ADC", "AND")
 

@@ -24,7 +24,7 @@ from ..power.acquisition import Acquisition
 from .results import ResultTable
 from .scales import get_scale
 
-__all__ = ["run", "program_separation"]
+__all__ = ["program_separation", "run"]
 
 
 def program_separation(values: np.ndarray, program_ids: np.ndarray) -> float:

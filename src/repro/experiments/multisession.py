@@ -32,7 +32,7 @@ from .results import ResultTable
 from .scales import get_scale
 from .table3 import CLASS_PAIR, DEPLOYMENT_SESSION
 
-__all__ = ["run", "PROFILING_SESSIONS"]
+__all__ = ["PROFILING_SESSIONS", "run"]
 
 #: Two additional profiling sessions (mild drifts within the usual
 #: session distribution); the deployment session is Table 3's.

@@ -24,7 +24,7 @@ from .configs import CLASSIFIERS, stationary_config
 from .results import ResultTable
 from .scales import get_scale
 
-__all__ = ["run", "DECIMATIONS"]
+__all__ = ["DECIMATIONS", "run"]
 
 #: Decimation factors and the oscilloscope rate each emulates
 #: (base rate 2.5 GS/s at a 16 MHz clock -> 156 samples/cycle).

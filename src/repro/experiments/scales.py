@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
-__all__ = ["Scale", "SMOKE", "BENCH", "PAPER", "get_scale"]
+__all__ = ["BENCH", "PAPER", "SMOKE", "Scale", "get_scale"]
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ from .configs import csa_config_full, csa_config_nonorm, no_csa_config
 from .results import ResultTable
 from .scales import get_scale
 
-__all__ = ["run", "CLASS_PAIR"]
+__all__ = ["CLASS_PAIR", "run"]
 
 CLASS_PAIR = ("ADC", "AND")
 

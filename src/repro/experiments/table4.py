@@ -18,7 +18,7 @@ from .results import ResultTable
 from .scales import get_scale
 from .table3 import CLASS_PAIR
 
-__all__ = ["run", "DEVICE_SESSIONS"]
+__all__ = ["DEVICE_SESSIONS", "run"]
 
 #: Pinned per-device re-measurement drifts (each target chip is measured
 #: in its own session, as in the paper).  Magnitudes span roughly

@@ -18,14 +18,14 @@ from ..power.dataset import TraceSet
 from .scales import Scale
 
 __all__ = [
-    "group_pool",
     "GroupSampler",
-    "capture_group_set",
-    "capture_group_instruction_set",
-    "capture_register_sets",
-    "group_classes",
     "MASKED_AES_SNIPPET",
     "TAMPERED_AES_SNIPPET",
+    "capture_group_instruction_set",
+    "capture_group_set",
+    "capture_register_sets",
+    "group_classes",
+    "group_pool",
 ]
 
 

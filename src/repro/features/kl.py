@@ -38,19 +38,19 @@ from typing import Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..util.env import env_flag, env_int
+from ..util.knobs import get_flag, get_int
 
 __all__ = [
-    "gaussian_kl",
-    "symmetric_gaussian_kl",
-    "WaveletStats",
     "StackedClassStats",
+    "WaveletStats",
     "batched_train_enabled",
     "between_class_kl",
     "between_class_kl_matrix",
+    "gaussian_kl",
+    "symmetric_gaussian_kl",
     "within_class_kl",
-    "within_class_kl_reference",
     "within_class_kl_batched",
+    "within_class_kl_reference",
 ]
 
 _VAR_FLOOR = 1e-12
@@ -58,7 +58,7 @@ _VAR_FLOOR = 1e-12
 
 def batched_train_enabled() -> bool:
     """Whether the training-side fast paths are on (``REPRO_BATCHED_TRAIN``)."""
-    return env_flag("REPRO_BATCHED_TRAIN", True)
+    return get_flag("REPRO_BATCHED_TRAIN")
 
 
 def _pair_block_size() -> int:
@@ -69,7 +69,7 @@ def _pair_block_size() -> int:
     (``REPRO_KL_BLOCK_PAIRS``, default 128 ≈ 16 MiB of intermediates on
     the paper's 50×315 plane).
     """
-    return max(1, env_int("REPRO_KL_BLOCK_PAIRS", 128))
+    return get_int("REPRO_KL_BLOCK_PAIRS")
 
 
 def gaussian_kl(
@@ -148,19 +148,19 @@ class WaveletStats:
             p_vars = grouped.var(axis=1, dtype=np.float64)
             # Pooled moments by the (balanced) law of total variance —
             # exact up to float64 rounding, two fewer full passes.
-            mean = p_means.mean(axis=0)
-            var = p_vars.mean(axis=0)
-            var += np.square(p_means - mean).mean(axis=0)
+            mean = p_means.mean(axis=0, dtype=np.float64)
+            var = p_vars.mean(axis=0, dtype=np.float64)
+            var += np.square(p_means - mean).mean(axis=0, dtype=np.float64)
         else:
             images64 = np.asarray(images, dtype=np.float64)
             p_means = np.empty((len(unique),) + images.shape[1:])
             p_vars = np.empty_like(p_means)
             for row, pid in enumerate(unique):
                 block = images64[program_ids == pid]
-                p_means[row] = block.mean(axis=0)
-                p_vars[row] = block.var(axis=0)
-            mean = images64.mean(axis=0)
-            var = images64.var(axis=0)
+                p_means[row] = block.mean(axis=0, dtype=np.float64)
+                p_vars[row] = block.var(axis=0, dtype=np.float64)
+            mean = images64.mean(axis=0, dtype=np.float64)
+            var = images64.var(axis=0, dtype=np.float64)
         return cls(
             mean=mean,
             var=var,

@@ -36,7 +36,7 @@ class PCA:
         data = np.asarray(features, dtype=np.float64)
         if data.ndim != 2:
             raise ValueError("PCA expects a 2-D matrix")
-        self.mean_ = data.mean(axis=0)
+        self.mean_ = data.mean(axis=0, dtype=np.float64)
         centered = data - self.mean_
         _, singular, vt = np.linalg.svd(centered, full_matrices=False)
         n_available = vt.shape[0]
@@ -46,7 +46,7 @@ class PCA:
         variance = (singular ** 2) / max(len(data) - 1, 1)
         self.components_ = vt[:k]
         self.explained_variance_ = variance[:k]
-        total = variance.sum()
+        total = variance.sum(dtype=np.float64)
         self.explained_variance_ratio_ = (
             variance[:k] / total if total > 0 else np.zeros(k)
         )

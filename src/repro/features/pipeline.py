@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..dsp.cwt import CWT, CwtConfig, get_cwt
-from ..util.env import env_int
+from ..util.knobs import get_int
 from .kl import WaveletStats
 from .pca import PCA
 from .selection import DnvpSelector, Point
@@ -170,8 +170,8 @@ class FeaturePipeline:
         if mode == "none":
             return values
         if fit:
-            self._feature_mean = values.mean(axis=0)
-            std = values.std(axis=0)
+            self._feature_mean = values.mean(axis=0, dtype=np.float64)
+            std = values.std(axis=0, dtype=np.float64)
             self._feature_std = np.where(std == 0, 1.0, std)
         if self._feature_mean is None or self._feature_std is None:
             raise RuntimeError("pipeline is not fitted")
@@ -183,8 +183,8 @@ class FeaturePipeline:
             and len(values) >= self.config.min_batch_for_adaptation
         )
         if adapt:
-            mean = values.mean(axis=0)
-            std = values.std(axis=0)
+            mean = values.mean(axis=0, dtype=np.float64)
+            std = values.std(axis=0, dtype=np.float64)
             std = np.where(std == 0, 1.0, std)
             return (values - mean) / std
         return (values - self._feature_mean) / self._feature_std
@@ -297,7 +297,7 @@ class FeaturePipeline:
         """
         if not self.config.use_cwt:
             return False
-        budget_mb = env_int("REPRO_FIT_CACHE_MB", 256)
+        budget_mb = get_int("REPRO_FIT_CACHE_MB")
         if budget_mb <= 0:
             return False
         n_scales = self.config.cwt.n_scales

@@ -41,12 +41,12 @@ from .kl import (
 )
 
 __all__ = [
-    "local_maxima_2d",
-    "PairSelection",
-    "select_pair_points",
-    "select_all_pairs",
-    "unify_points",
     "DnvpSelector",
+    "PairSelection",
+    "local_maxima_2d",
+    "select_all_pairs",
+    "select_pair_points",
+    "unify_points",
 ]
 
 Point = Tuple[int, int]

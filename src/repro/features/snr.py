@@ -43,10 +43,14 @@ def snr_field(
     classes = np.unique(labels)
     if len(classes) < 2:
         raise ValueError("SNR needs at least two classes")
-    means = np.stack([values[labels == c].mean(axis=0) for c in classes])
-    noise = np.stack([values[labels == c].var(axis=0) for c in classes])
-    signal = means.var(axis=0)
-    return signal / np.maximum(noise.mean(axis=0), var_floor)
+    means = np.stack(
+        [values[labels == c].mean(axis=0, dtype=np.float64) for c in classes]
+    )
+    noise = np.stack(
+        [values[labels == c].var(axis=0, dtype=np.float64) for c in classes]
+    )
+    signal = means.var(axis=0, dtype=np.float64)
+    return signal / np.maximum(noise.mean(axis=0, dtype=np.float64), var_floor)
 
 
 def snr_report(
@@ -74,5 +78,5 @@ def snr_report(
         "argmax": tuple(
             int(i) for i in np.unravel_index(field.argmax(), field.shape)
         ),
-        "exploitable": float((field > 1.0).mean()),
+        "exploitable": float((field > 1.0).mean(dtype=np.float64)),
     }

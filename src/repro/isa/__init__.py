@@ -63,7 +63,7 @@ __all__ = [
     "grouped_keys",
     "parse_ihex",
     "spec_for",
+    "table2_rows",
     "to_ihex",
     "words_from_bytes",
-    "table2_rows",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["CompiledPattern", "compile_pattern", "EncodingError"]
+__all__ = ["CompiledPattern", "EncodingError", "compile_pattern"]
 
 
 class EncodingError(ValueError):

@@ -16,9 +16,9 @@ from .specs import REGISTRY
 __all__ = [
     "GROUPS",
     "GROUP_DESCRIPTIONS",
-    "grouped_keys",
-    "group_of",
     "classification_classes",
+    "group_of",
+    "grouped_keys",
     "table2_rows",
 ]
 

@@ -11,8 +11,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-__all__ = ["HexFormatError", "parse_ihex", "to_ihex", "words_from_bytes",
-           "bytes_from_words"]
+__all__ = [
+    "HexFormatError",
+    "bytes_from_words",
+    "parse_ihex",
+    "to_ihex",
+    "words_from_bytes",
+]
 
 
 class HexFormatError(ValueError):

@@ -19,9 +19,9 @@ import enum
 from dataclasses import dataclass
 
 __all__ = [
+    "OperandError",
     "OperandKind",
     "OperandSpec",
-    "OperandError",
     "format_operand",
     "parse_operand",
 ]

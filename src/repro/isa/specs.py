@@ -22,10 +22,10 @@ from .encoding import CompiledPattern, compile_pattern
 from .operands import OperandKind, OperandSpec
 
 __all__ = [
-    "InstructionSpec",
-    "REGISTRY",
-    "MNEMONIC_INDEX",
     "DECODE_ORDER",
+    "InstructionSpec",
+    "MNEMONIC_INDEX",
+    "REGISTRY",
     "spec_for",
 ]
 
@@ -460,7 +460,7 @@ if len(REGISTRY) != len(_SPECS):  # pragma: no cover - table sanity
 MNEMONIC_INDEX: Mapping[str, Tuple[InstructionSpec, ...]] = MappingProxyType(
     {
         mnemonic: tuple(s for s in _SPECS if s.mnemonic == mnemonic)
-        for mnemonic in {s.mnemonic for s in _SPECS}
+        for mnemonic in sorted({s.mnemonic for s in _SPECS})
     }
 )
 

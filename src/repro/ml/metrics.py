@@ -8,9 +8,9 @@ import numpy as np
 
 __all__ = [
     "accuracy_score",
+    "classification_report",
     "confusion_matrix",
     "per_class_recall",
-    "classification_report",
 ]
 
 

@@ -16,7 +16,7 @@ import numpy as np
 from .base import Classifier, check_Xy
 from .metrics import accuracy_score
 
-__all__ = ["kfold_indices", "cross_val_score", "GridSearch"]
+__all__ = ["GridSearch", "cross_val_score", "kfold_indices"]
 
 
 def kfold_indices(

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..util.env import env_flag
+from ..util.knobs import get_flag
 from ..util.parallel import parallel_map
 from .base import Classifier, check_Xy
 from .suffstats import ClassStats
@@ -93,7 +93,7 @@ class OneVsOneClassifier(Classifier):
         to per-pair fitting — optionally on the worker pool — otherwise.
         """
         if batched is None:
-            batched = env_flag("REPRO_BATCHED_TRAIN", True)
+            batched = get_flag("REPRO_BATCHED_TRAIN")
         if not batched:
             return self.fit_reference(X, y)
         X, y = check_Xy(X, y)

@@ -57,12 +57,12 @@ class ClassStats:
         variances = np.empty((n_classes, p))
         for k, label in enumerate(classes):
             block = X[y == label]
-            mu = block.mean(axis=0)
+            mu = block.mean(axis=0, dtype=np.float64)
             centered = block - mu
             counts[k] = len(block)
             means[k] = mu
             scatters[k] = centered.T @ centered
-            variances[k] = block.var(axis=0)
+            variances[k] = block.var(axis=0, dtype=np.float64)
         return cls(
             classes=classes,
             counts=counts,
@@ -77,12 +77,12 @@ class ClassStats:
 
     @property
     def n_total(self) -> int:
-        return int(self.counts.sum())
+        return int(self.counts.sum(dtype=np.int64))
 
     def subset_priors(self, indices: Sequence[int]) -> np.ndarray:
         """Empirical priors of the subset restricted to ``indices``."""
         counts = self.counts[list(indices)].astype(np.float64)
-        return counts / counts.sum()
+        return counts / counts.sum(dtype=np.float64)
 
     def pooled_variance(self, indices: Sequence[int]) -> np.ndarray:
         """Per-feature variance of the subset's rows, from class moments.
@@ -93,10 +93,12 @@ class ClassStats:
         """
         idx = list(indices)
         counts = self.counts[idx].astype(np.float64)[:, None]
-        total = counts.sum()
+        total = counts.sum(dtype=np.float64)
         weights = counts / total
-        mean = (weights * self.means[idx]).sum(axis=0)
-        second = (weights * (self.vars[idx] + self.means[idx] ** 2)).sum(axis=0)
+        mean = (weights * self.means[idx]).sum(axis=0, dtype=np.float64)
+        second = (weights * (self.vars[idx] + self.means[idx] ** 2)).sum(
+            axis=0, dtype=np.float64
+        )
         return second - mean**2
 
     def pair_indices(self) -> Tuple[np.ndarray, np.ndarray]:

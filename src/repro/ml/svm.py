@@ -22,7 +22,7 @@ import numpy as np
 from ..util.parallel import parallel_map
 from .base import Classifier, check_Xy
 
-__all__ = ["SVC", "rbf_kernel", "linear_kernel"]
+__all__ = ["SVC", "linear_kernel", "rbf_kernel"]
 
 
 def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float) -> np.ndarray:

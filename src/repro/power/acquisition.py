@@ -26,7 +26,7 @@ from ..isa.assembler import Instruction
 from ..isa.groups import classification_classes
 from ..sim.cpu import AvrCpu
 from ..sim.state import SRAM_START
-from ..util.env import env_int
+from ..util.knobs import get_int
 from ..util.parallel import parallel_map
 
 #: Minimum program files per worker before capture goes parallel.  One
@@ -40,7 +40,7 @@ _DEFAULT_MIN_FILES_PER_WORKER = 4
 
 
 def _min_files_per_worker() -> int:
-    return max(1, env_int("REPRO_PARALLEL_MIN_FILES", _DEFAULT_MIN_FILES_PER_WORKER))
+    return get_int("REPRO_PARALLEL_MIN_FILES")
 from .config import DEFAULT_GEOMETRY, PowerModelConfig, TraceGeometry
 from .dataset import TraceSet
 from .device import DeviceProfile, ProgramShift, SessionShift
@@ -51,9 +51,9 @@ __all__ = [
     "Acquisition",
     "ProgramCapture",
     "RegisterSampler",
-    "random_instance",
     "default_neighbor_pool",
     "make_devices",
+    "random_instance",
 ]
 
 #: Trigger instruction parameters (PORTB bit 5, the Arduino LED pin).

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
-__all__ = ["PowerModelConfig", "TraceGeometry", "DEFAULT_GEOMETRY"]
+__all__ = ["DEFAULT_GEOMETRY", "PowerModelConfig", "TraceGeometry"]
 
 
 @dataclass(frozen=True)

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..sim.cpu import canonicalize
 from ..sim.events import ExecEvent
-from ..util.env import env_flag
+from ..util.knobs import get_flag
 from .config import DEFAULT_GEOMETRY, PowerModelConfig, TraceGeometry
 from .device import DeviceProfile
 
@@ -692,7 +692,7 @@ class PowerModel:
                 relative).
         """
         if batched is None:
-            batched = env_flag("REPRO_BATCHED_RENDER", True)
+            batched = get_flag("REPRO_BATCHED_RENDER")
         if batched:
             return self._render_events_batched(events)
         return self.render_events_serial(events)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import List
 
-__all__ = ["CpuState", "SREG_BITS", "DATA_SPACE_SIZE", "SRAM_START", "IO_BASE"]
+__all__ = ["CpuState", "DATA_SPACE_SIZE", "IO_BASE", "SRAM_START", "SREG_BITS"]
 
 #: SREG bit indices by flag letter.
 SREG_BITS = {"C": 0, "Z": 1, "N": 2, "V": 3, "S": 4, "H": 5, "T": 6, "I": 7}

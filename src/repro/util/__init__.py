@@ -1,12 +1,21 @@
-"""Shared utilities (parallel execution helpers, env knob parsing)."""
+"""Shared utilities (parallel helpers, env knob parsing, knob registry)."""
 
-from .env import env_flag, env_int
+from .env import env_flag, env_float, env_int, env_str
+from .knobs import KNOBS, Knob, get_flag, get_float, get_int, get_str
 from .parallel import effective_workers, parallel_map, resolve_n_jobs
 
 __all__ = [
+    "KNOBS",
+    "Knob",
     "effective_workers",
     "env_flag",
+    "env_float",
     "env_int",
+    "env_str",
+    "get_flag",
+    "get_float",
+    "get_int",
+    "get_str",
     "parallel_map",
     "resolve_n_jobs",
 ]

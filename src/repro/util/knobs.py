@@ -1,0 +1,265 @@
+"""Central registry of every ``REPRO_*`` environment knob.
+
+PRs 1–2 grew a family of tuning knobs (FFT backend, memory budgets,
+worker counts, batched-path opt-outs) whose declarations were scattered
+across the modules that read them, and whose README table was maintained
+by hand.  This module is now the single source of truth: every knob is
+declared here once — name, type, default, minimum, and the docstring the
+README table is generated from — and read through the typed getters
+below, which route through :mod:`repro.util.env` so parsing, one-shot
+bad-value warnings, and minimum clamps behave identically everywhere.
+
+Invariants (machine-checked by ``REP001`` in :mod:`repro.analysis`):
+
+* no module outside :mod:`repro.util.env` touches ``os.environ``;
+* every ``REPRO_*`` name used anywhere in ``src``/``tests`` is declared
+  here (the ``REPRO_TEST_*`` namespace is reserved for test fixtures and
+  exempt);
+* the README knob table is generated from this registry
+  (``python -m repro.analysis --fix-docs``) and CI fails when it drifts
+  (``--check-docs``).
+
+Adding a knob is therefore one :class:`Knob` entry plus a call site —
+the docs and the linter pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from .env import env_flag, env_float, env_int, env_str
+
+__all__ = [
+    "KNOBS",
+    "Knob",
+    "get_flag",
+    "get_float",
+    "get_int",
+    "get_str",
+    "knob_table_markdown",
+]
+
+#: Value types a knob can carry.
+KnobValue = Union[bool, int, float, str]
+
+
+@dataclass(frozen=True)
+class Knob:
+    """Declaration of one ``REPRO_*`` environment knob.
+
+    Attributes:
+        name: environment variable, ``REPRO_``-prefixed.
+        kind: ``"flag"``, ``"int"``, ``"float"`` or ``"choice"``.
+        default: value used when the variable is unset or rejected.
+        doc: one-line effect description (becomes the README table cell).
+        minimum: floor for numeric knobs; values below it clamp with a
+            one-shot warning.  ``None`` disables clamping (e.g.
+            ``REPRO_N_JOBS``, where ``<= 0`` means "all cores").
+        choices: accepted spellings for ``"choice"`` knobs.
+        alias: programmatic override shown next to the name in the table
+            (e.g. ``"repro.dsp.backend.set_backend"``).
+        default_label: table text for the default when ``str(default)``
+            is not descriptive (e.g. ``"auto (`scipy` if present)"``).
+        in_table: whether the knob appears in the README table (bench
+            harness knobs do not).
+    """
+
+    name: str
+    kind: str
+    default: KnobValue
+    doc: str
+    minimum: Optional[float] = None
+    choices: Optional[Tuple[str, ...]] = None
+    alias: str = ""
+    default_label: str = ""
+
+    in_table: bool = True
+
+    def default_cell(self) -> str:
+        """The README table's Default cell for this knob."""
+        if self.default_label:
+            return self.default_label
+        if self.kind == "flag":
+            return "on" if self.default else "off"
+        if self.kind == "float" and float(self.default) == int(self.default):  # type: ignore[arg-type]
+            return str(int(self.default))  # type: ignore[arg-type]
+        return str(self.default)
+
+    def name_cell(self) -> str:
+        """The README table's Knob cell (name plus programmatic alias)."""
+        cell = f"`{self.name}`"
+        if self.alias:
+            cell += f" / {self.alias}"
+        return cell
+
+
+def _declare(*knobs: Knob) -> Dict[str, Knob]:
+    registry: Dict[str, Knob] = {}
+    for knob in knobs:
+        if not knob.name.startswith("REPRO_"):
+            raise ValueError(f"knob {knob.name!r} must be REPRO_-prefixed")
+        if knob.name in registry:
+            raise ValueError(f"duplicate knob declaration {knob.name!r}")
+        if knob.kind not in ("flag", "int", "float", "choice"):
+            raise ValueError(f"{knob.name}: unknown kind {knob.kind!r}")
+        if knob.kind == "choice" and not knob.choices:
+            raise ValueError(f"{knob.name}: choice knob needs choices")
+        registry[knob.name] = knob
+    return registry
+
+
+#: Every knob the package reads, in README-table order.
+KNOBS: Dict[str, Knob] = _declare(
+    Knob(
+        name="REPRO_FFT_BACKEND",
+        kind="choice",
+        default="auto",
+        choices=("auto", "scipy", "numpy"),
+        alias="`repro.dsp.backend.set_backend`",
+        default_label="auto (`scipy` if present)",
+        doc="FFT implementation; pure-numpy fallback",
+    ),
+    Knob(
+        name="REPRO_FFT_WORKERS",
+        kind="int",
+        default=1,
+        minimum=1,
+        doc="pocketfft worker threads per transform",
+    ),
+    Knob(
+        name="REPRO_CWT_MEM_MB",
+        kind="float",
+        default=256.0,
+        minimum=1.0,
+        alias="`transform(max_mem_mb=...)`",
+        doc="peak-memory budget for CWT chunking (results unchanged)",
+    ),
+    Knob(
+        name="REPRO_N_JOBS",
+        kind="int",
+        default=1,
+        alias="`n_jobs`",
+        default_label="1 (serial)",
+        doc="capture worker processes (`<= 0` = all cores; results unchanged)",
+    ),
+    Knob(
+        name="REPRO_PARALLEL_MIN_FILES",
+        kind="int",
+        default=4,
+        minimum=1,
+        doc=(
+            "min work items per capture worker before a pool is spun up "
+            "(small captures stay serial; results unchanged)"
+        ),
+    ),
+    Knob(
+        name="REPRO_BATCHED_RENDER",
+        kind="flag",
+        default=True,
+        doc="set `0` to force the reference renderer",
+    ),
+    Knob(
+        name="REPRO_BATCHED_TRAIN",
+        kind="flag",
+        default=True,
+        doc=(
+            "set `0` to force the serial training + inference references "
+            "(KL fields, selection, one-vs-one fitting, hierarchical "
+            "prediction)"
+        ),
+    ),
+    Knob(
+        name="REPRO_KL_BLOCK_PAIRS",
+        kind="int",
+        default=128,
+        minimum=1,
+        doc="pair-block size of the asymmetric batched KL paths (results unchanged)",
+    ),
+    Knob(
+        name="REPRO_FIT_CACHE_MB",
+        kind="int",
+        default=256,
+        minimum=0,
+        doc=(
+            "image-cache budget for single-pass pipeline fitting (`0` "
+            "disables; second CWT pass is skipped when the training set "
+            "fits)"
+        ),
+    ),
+    # Bench-harness knobs: declared for REP001's registry check but kept
+    # out of the README tuning table (they scale benchmarks, not the
+    # library).
+    Knob(
+        name="REPRO_BENCH_SCALE",
+        kind="choice",
+        default="bench",
+        choices=("smoke", "bench", "paper"),
+        doc="benchmark workload scale",
+        in_table=False,
+    ),
+    Knob(
+        name="REPRO_BENCH_JOBS",
+        kind="int",
+        default=2,
+        minimum=1,
+        doc="worker count exercised by the parallel-capture benchmark",
+        in_table=False,
+    ),
+)
+
+
+def _knob(name: str, kind: str) -> Knob:
+    try:
+        knob = KNOBS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown knob {name!r}; declare it in repro.util.knobs.KNOBS"
+        ) from None
+    if knob.kind != kind:
+        raise TypeError(
+            f"{name} is a {knob.kind!r} knob; read it with get_{knob.kind}()"
+        )
+    return knob
+
+
+def get_flag(name: str) -> bool:
+    """Read a declared boolean knob."""
+    knob = _knob(name, "flag")
+    return env_flag(name, bool(knob.default))
+
+
+def get_int(name: str) -> int:
+    """Read a declared integer knob (minimum clamp applied)."""
+    knob = _knob(name, "int")
+    minimum = None if knob.minimum is None else int(knob.minimum)
+    return env_int(name, int(knob.default), minimum=minimum)  # type: ignore[arg-type]
+
+
+def get_float(name: str) -> float:
+    """Read a declared float knob (minimum clamp applied)."""
+    knob = _knob(name, "float")
+    return env_float(name, float(knob.default), minimum=knob.minimum)  # type: ignore[arg-type]
+
+
+def get_str(name: str) -> str:
+    """Read a declared choice knob (unknown spellings warn and fall back)."""
+    knob = _knob(name, "choice")
+    return env_str(name, str(knob.default), choices=knob.choices)
+
+
+def knob_table_markdown() -> str:
+    """Render the README tuning-knob table from the registry.
+
+    ``python -m repro.analysis --fix-docs`` splices this between the
+    ``<!-- replint:knob-table -->`` markers in README.md; ``--check-docs``
+    (run in CI) fails when the committed table differs.
+    """
+    lines = ["| Knob | Default | Effect |", "| --- | --- | --- |"]
+    for knob in KNOBS.values():
+        if not knob.in_table:
+            continue
+        lines.append(
+            f"| {knob.name_cell()} | {knob.default_cell()} | {knob.doc} |"
+        )
+    return "\n".join(lines) + "\n"

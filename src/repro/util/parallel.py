@@ -22,6 +22,8 @@ from __future__ import annotations
 import os
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from .knobs import get_int
+
 __all__ = ["effective_workers", "parallel_map", "resolve_n_jobs"]
 
 _T = TypeVar("_T")
@@ -31,14 +33,7 @@ _R = TypeVar("_R")
 def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
     """Resolve a worker count (argument → ``REPRO_N_JOBS`` → 1)."""
     if n_jobs is None:
-        raw = os.environ.get("REPRO_N_JOBS", "").strip()
-        if raw:
-            try:
-                n_jobs = int(raw)
-            except ValueError:
-                n_jobs = 1
-        else:
-            n_jobs = 1
+        n_jobs = get_int("REPRO_N_JOBS")
     if n_jobs <= 0:
         return max(1, os.cpu_count() or 1)
     return int(n_jobs)

@@ -1,0 +1,624 @@
+"""Fixture tests for every replint rule: each must fire on a seeded
+violation and stay quiet on the compliant twin."""
+
+import json
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import run
+from repro.analysis.cli import main
+from repro.analysis.core import parse_suppressions
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def write(tmp_path: Path, rel: str, text: str) -> Path:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dedent(text), encoding="utf-8")
+    return path
+
+
+def lint(*paths) -> list:
+    return run([str(p) for p in paths], n_jobs=1).findings
+
+
+def codes(findings) -> list:
+    return [f.code for f in findings]
+
+
+class TestRep001KnobRegistry:
+    def test_fires_on_raw_environ(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/rogue.py",
+            '''
+            import os
+            __all__ = ["value"]
+            value = os.environ.get("PATH")
+            ''',
+        )
+        assert "REP001" in codes(lint(tmp_path))
+
+    def test_fires_on_os_getenv_and_from_import(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/rogue.py",
+            '''
+            import os
+            from os import environ
+            __all__ = ["value"]
+            value = os.getenv("HOME")
+            ''',
+        )
+        found = codes(lint(tmp_path))
+        assert found.count("REP001") == 2
+
+    def test_quiet_in_env_module(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/util/env.py",
+            '''
+            import os
+            __all__ = ["read"]
+            def read(name):
+                return os.environ.get(name, "")
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_fires_on_undeclared_knob_literal(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/rogue.py",
+            '''
+            from ..util.env import env_int
+            __all__ = ["value"]
+            value = env_int("REPRO_NOT_DECLARED", 3)
+            ''',
+        )
+        found = lint(tmp_path)
+        assert "REP001" in codes(found)
+        assert "REPRO_NOT_DECLARED" in found[0].message
+
+    def test_quiet_on_declared_and_test_namespace_knobs(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/fine.py",
+            '''
+            from ..util.knobs import get_flag
+            from ..util.env import env_int
+            __all__ = ["a", "b"]
+            a = get_flag("REPRO_BATCHED_TRAIN")
+            b = env_int("REPRO_TEST_WHATEVER", 1)
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+
+class TestRep002Parity:
+    PAIR = '''
+    __all__ = ["frob", "frob_reference"]
+    def frob(x):
+        return x
+    def frob_reference(x):
+        return x
+    '''
+
+    def test_fires_without_a_parity_test(self, tmp_path):
+        write(tmp_path, "src/repro/dsp/frob.py", self.PAIR)
+        found = lint(tmp_path)
+        assert codes(found) == ["REP002"]
+        assert "frob_reference" in found[0].message
+
+    def test_quiet_when_a_test_references_both(self, tmp_path):
+        write(tmp_path, "src/repro/dsp/frob.py", self.PAIR)
+        write(
+            tmp_path,
+            "tests/dsp/test_frob.py",
+            '''
+            from repro.dsp.frob import frob, frob_reference
+            def test_parity():
+                assert frob(1) == frob_reference(1)
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_needs_both_names_in_one_test_module(self, tmp_path):
+        write(tmp_path, "src/repro/dsp/frob.py", self.PAIR)
+        write(
+            tmp_path,
+            "tests/dsp/test_half.py",
+            '''
+            from repro.dsp.frob import frob
+            def test_fast_only():
+                assert frob(1) == 1
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP002"]
+
+    def test_private_references_are_exempt(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/dsp/frob.py",
+            '''
+            __all__ = []
+            def _frob(x):
+                return x
+            def _frob_reference(x):
+                return x
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_method_pairs_are_checked(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/dsp/frob.py",
+            '''
+            __all__ = ["Frobber"]
+            class Frobber:
+                def transform(self, x):
+                    return x
+                def transform_reference(self, x):
+                    return x
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP002"]
+
+
+class TestRep003Determinism:
+    def test_fires_on_global_np_random(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/bad.py",
+            '''
+            import numpy as np
+            __all__ = ["noise"]
+            def noise(n):
+                return np.random.randn(n)
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP003"]
+
+    def test_quiet_on_seeded_generator(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/good.py",
+            '''
+            import numpy as np
+            __all__ = ["noise"]
+            def noise(n, seed):
+                rng = np.random.default_rng(seed)
+                return rng.standard_normal(n)
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_fires_on_wall_clock(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/clock.py",
+            '''
+            import time
+            __all__ = ["stamp"]
+            def stamp():
+                return time.time()
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP003"]
+
+    def test_fires_on_set_iteration(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/sets.py",
+            '''
+            __all__ = ["walk"]
+            def walk(items):
+                out = []
+                for item in set(items):
+                    out.append(item)
+                return out
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP003"]
+
+    def test_quiet_on_sorted_set(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/sets.py",
+            '''
+            __all__ = ["walk"]
+            def walk(items):
+                return [i for i in sorted(set(items))]
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_fires_on_list_over_set(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/sets.py",
+            '''
+            __all__ = ["walk"]
+            def walk(items):
+                return list({i for i in items})
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP003"]
+
+    def test_tests_are_out_of_scope(self, tmp_path):
+        write(
+            tmp_path,
+            "tests/test_messy.py",
+            '''
+            import numpy as np
+            def test_x():
+                return np.random.randn(3)
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+
+class TestRep004AccumulationDtype:
+    def test_fires_in_features_scope(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/features/stats.py",
+            '''
+            import numpy as np
+            __all__ = ["centroid"]
+            def centroid(x):
+                return x.mean(axis=0)
+            ''',
+        )
+        found = lint(tmp_path)
+        assert codes(found) == ["REP004"]
+
+    def test_quiet_with_explicit_dtype(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/features/stats.py",
+            '''
+            import numpy as np
+            __all__ = ["centroid"]
+            def centroid(x):
+                return np.sum(x, axis=0, dtype=np.float64)
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_np_function_form_is_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/ml/suffstats.py",
+            '''
+            import numpy as np
+            __all__ = ["total"]
+            def total(x):
+                return np.var(x)
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP004"]
+
+    def test_out_of_scope_module_is_quiet(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/ml/other.py",
+            '''
+            __all__ = ["centroid"]
+            def centroid(x):
+                return x.mean(axis=0)
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+
+class TestRep005ExportHygiene:
+    def test_fires_on_missing_all(self, tmp_path):
+        write(tmp_path, "src/repro/ml/naked.py", "def f():\n    return 1\n")
+        assert codes(lint(tmp_path)) == ["REP005"]
+
+    def test_fires_on_unsorted(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/ml/messy.py",
+            '''
+            __all__ = ["b", "a"]
+            a = 1
+            b = 2
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP005"]
+
+    def test_fires_on_unresolvable_name(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/ml/ghost.py",
+            '''
+            __all__ = ["phantom"]
+            real = 1
+            ''',
+        )
+        found = lint(tmp_path)
+        assert codes(found) == ["REP005"]
+        assert "phantom" in found[0].message
+
+    def test_fires_on_duplicates_and_non_literal(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/ml/dupes.py",
+            '''
+            __all__ = ["a", "a"]
+            a = 1
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP005"]
+        write(
+            tmp_path,
+            "src/repro/ml/computed.py",
+            '''
+            names = ["a"]
+            __all__ = names
+            a = 1
+            ''',
+        )
+        assert "REP005" in codes(lint(tmp_path / "src/repro/ml/computed.py"))
+
+    def test_quiet_on_clean_module_and_main(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/ml/clean.py",
+            '''
+            __all__ = ["alpha", "beta"]
+            alpha = 1
+            def beta():
+                return alpha
+            ''',
+        )
+        write(tmp_path, "src/repro/ml/__main__.py", "print('hi')\n")
+        assert codes(lint(tmp_path)) == []
+
+    def test_conditional_bindings_resolve(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/ml/cond.py",
+            '''
+            __all__ = ["impl"]
+            try:
+                import scipy as impl
+            except ImportError:
+                impl = None
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+
+class TestRep006ImportLayering:
+    def test_fires_on_absolute_import(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/dsp/leaky.py",
+            '''
+            from repro.experiments import table1
+            __all__ = ["table1"]
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP006"]
+
+    def test_fires_on_relative_import(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/sim/leaky.py",
+            '''
+            from ..experiments.configs import stationary_config
+            __all__ = ["stationary_config"]
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP006"]
+
+    def test_fires_on_plain_import(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/isa/leaky.py",
+            '''
+            import repro.experiments.table1 as t1
+            __all__ = ["t1"]
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP006"]
+
+    def test_quiet_on_substrate_imports(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/dsp/fine.py",
+            '''
+            from ..util.env import env_int
+            import numpy as np
+            __all__ = ["env_int", "np"]
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_experiments_may_import_substrate(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/experiments/runner.py",
+            '''
+            from ..dsp.cwt import get_cwt
+            __all__ = ["get_cwt"]
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+
+class TestSuppressions:
+    def test_line_suppression_silences_one_code(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/clock.py",
+            '''
+            import time
+            __all__ = ["stamp"]
+            def stamp():
+                return time.time()  # replint: disable=REP003 -- display only
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_line_suppression_is_code_specific(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/clock.py",
+            '''
+            import time
+            __all__ = ["stamp"]
+            def stamp():
+                return time.time()  # replint: disable=REP001
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP003"]
+
+    def test_bare_disable_silences_all(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/clock.py",
+            '''
+            import time
+            __all__ = ["stamp"]
+            def stamp():
+                return time.time()  # replint: disable
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_file_wide_suppression(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/clock.py",
+            '''
+            # replint: disable-file=REP003 -- timing harness
+            import time
+            __all__ = ["a", "b"]
+            def a():
+                return time.time()
+            def b():
+                return time.time()
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_cross_file_findings_respect_suppressions(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/rogue.py",
+            '''
+            from ..util.env import env_int
+            __all__ = ["value"]
+            value = env_int("REPRO_NOT_DECLARED", 3)  # replint: disable=REP001
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_parse_suppressions_shapes(self):
+        sup = parse_suppressions(
+            [
+                "x = 1  # replint: disable=REP001, REP003",
+                "y = 2  # replint: disable",
+                "# replint: disable-file=REP004 -- why",
+                "z = 3",
+            ]
+        )
+        assert sup.by_line[1] == frozenset({"REP001", "REP003"})
+        assert sup.by_line[2] is None
+        assert 4 not in sup.by_line
+        assert sup.file_wide == frozenset({"REP004"})
+
+
+class TestRunnerAndCli:
+    def test_parse_error_becomes_rep000(self, tmp_path):
+        write(tmp_path, "src/repro/ml/broken.py", "def f(:\n")
+        found = lint(tmp_path)
+        assert codes(found) == ["REP000"]
+
+    def test_findings_sorted_and_json_renderer(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/ml/naked.py", "x = 1\n")
+        write(
+            tmp_path,
+            "src/repro/ml/messy.py",
+            '__all__ = ["b", "a"]\na = 1\nb = 2\n',
+        )
+        rc = main([str(tmp_path), "--format", "json", "--jobs", "1"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        found = payload["findings"]
+        assert [f["code"] for f in found] == ["REP005", "REP005"]
+        assert found == sorted(found, key=lambda f: (f["path"], f["line"]))
+
+    def test_cli_clean_exit_zero(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "src/repro/ml/clean.py",
+            '__all__ = ["a"]\na = 1\n',
+        )
+        assert main([str(tmp_path), "--jobs", "1"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_missing_path_exit_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert code in out
+
+    def test_check_docs_flags_drift(self, tmp_path, capsys):
+        readme = tmp_path / "README.md"
+        readme.write_text(
+            "# x\n<!-- replint:knob-table -->\nstale\n"
+            "<!-- /replint:knob-table -->\n",
+            encoding="utf-8",
+        )
+        rc = main(
+            ["--check-docs", "--no-lint", "--readme", str(readme)]
+        )
+        assert rc == 1
+        assert "out of sync" in capsys.readouterr().err
+
+    def test_fix_docs_then_check_passes(self, tmp_path, capsys):
+        readme = tmp_path / "README.md"
+        readme.write_text(
+            "# x\n<!-- replint:knob-table -->\nstale\n"
+            "<!-- /replint:knob-table -->\ntail\n",
+            encoding="utf-8",
+        )
+        assert main(["--fix-docs", "--readme", str(readme)]) == 0
+        assert (
+            main(["--check-docs", "--no-lint", "--readme", str(readme)]) == 0
+        )
+        text = readme.read_text(encoding="utf-8")
+        assert "REPRO_BATCHED_TRAIN" in text
+        assert text.endswith("tail\n")
+
+
+class TestRepoIsClean:
+    def test_replint_green_on_the_repo(self):
+        result = run([str(REPO / "src"), str(REPO / "tests")])
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+    def test_every_rule_has_fixture_coverage(self):
+        # Meta-check: the classes above cover each shipped rule code.
+        from repro.analysis.core import RULE_REGISTRY
+
+        assert set(RULE_REGISTRY) == {
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+        }

@@ -1,0 +1,145 @@
+"""Edge-case coverage for the env knob parsers (repro.util.env)."""
+
+import warnings
+
+import pytest
+
+from repro.util.env import (
+    env_flag,
+    env_float,
+    env_int,
+    env_str,
+    reset_env_warnings,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_env_warnings()
+    yield
+    reset_env_warnings()
+
+
+class TestEnvFlag:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLAG", raising=False)
+        assert env_flag("REPRO_TEST_FLAG", True) is True
+        assert env_flag("REPRO_TEST_FLAG", False) is False
+
+    @pytest.mark.parametrize("raw", ["0", "false", "off", "False", "OFF", "fAlSe"])
+    def test_falsy_spellings_case_insensitive(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+        assert env_flag("REPRO_TEST_FLAG", True) is False
+
+    @pytest.mark.parametrize("raw", ["1", "true", "on", "yes", "anything"])
+    def test_truthy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+        assert env_flag("REPRO_TEST_FLAG", False) is True
+
+    def test_whitespace_is_stripped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAG", "  off  ")
+        assert env_flag("REPRO_TEST_FLAG", True) is False
+
+    def test_empty_and_blank_mean_unset(self, monkeypatch):
+        for raw in ("", "   "):
+            monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+            assert env_flag("REPRO_TEST_FLAG", True) is True
+            assert env_flag("REPRO_TEST_FLAG", False) is False
+
+
+class TestEnvInt:
+    def test_unset_and_blank_return_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_INT", raising=False)
+        assert env_int("REPRO_TEST_INT", 7) == 7
+        monkeypatch.setenv("REPRO_TEST_INT", "   ")
+        assert env_int("REPRO_TEST_INT", 7) == 7
+
+    def test_parses_with_whitespace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "  42  ")
+        assert env_int("REPRO_TEST_INT", 7) == 42
+
+    def test_negative_values_pass_without_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "-3")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_int("REPRO_TEST_INT", 7) == -3
+
+    def test_unparsable_warns_once_naming_knob_and_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "junk")
+        with pytest.warns(RuntimeWarning, match="REPRO_TEST_INT.*junk.*7"):
+            assert env_int("REPRO_TEST_INT", 7) == 7
+        # One-shot: the second read stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_int("REPRO_TEST_INT", 7) == 7
+        # ...until the warning state is reset.
+        reset_env_warnings()
+        with pytest.warns(RuntimeWarning):
+            env_int("REPRO_TEST_INT", 7)
+
+    def test_float_text_is_not_an_int(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "3.5")
+        with pytest.warns(RuntimeWarning):
+            assert env_int("REPRO_TEST_INT", 7) == 7
+
+    def test_minimum_clamps_and_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "-5")
+        with pytest.warns(RuntimeWarning, match="clamping REPRO_TEST_INT"):
+            assert env_int("REPRO_TEST_INT", 7, minimum=1) == 1
+
+    def test_minimum_does_not_clamp_the_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_INT", raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_int("REPRO_TEST_INT", 0, minimum=1) == 0
+
+    def test_value_at_minimum_is_silent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_int("REPRO_TEST_INT", 7, minimum=1) == 1
+
+
+class TestEnvFloat:
+    def test_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLOAT", " 2.5 ")
+        assert env_float("REPRO_TEST_FLOAT", 1.0) == 2.5
+
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLOAT", raising=False)
+        assert env_float("REPRO_TEST_FLOAT", 1.5) == 1.5
+
+    def test_unparsable_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "much")
+        with pytest.warns(RuntimeWarning, match="REPRO_TEST_FLOAT"):
+            assert env_float("REPRO_TEST_FLOAT", 1.5) == 1.5
+
+    def test_minimum_clamps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "0.25")
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            assert env_float("REPRO_TEST_FLOAT", 256.0, minimum=1.0) == 1.0
+
+
+class TestEnvStr:
+    def test_lowercases_and_strips(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_STR", "  SciPy ")
+        assert env_str("REPRO_TEST_STR", "auto") == "scipy"
+
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_STR", raising=False)
+        assert env_str("REPRO_TEST_STR", "auto", choices=("auto",)) == "auto"
+
+    def test_unknown_choice_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_STR", "cuda")
+        with pytest.warns(RuntimeWarning, match="REPRO_TEST_STR.*cuda"):
+            assert (
+                env_str("REPRO_TEST_STR", "auto", choices=("auto", "scipy"))
+                == "auto"
+            )
+
+    def test_choice_accepted_case_insensitively(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_STR", "NUMPY")
+        assert (
+            env_str("REPRO_TEST_STR", "auto", choices=("auto", "numpy"))
+            == "numpy"
+        )

@@ -1,0 +1,141 @@
+"""Knob-registry coverage: declarations, typed getters, clamps, docs table."""
+
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.util.env import reset_env_warnings
+from repro.util.knobs import (
+    KNOBS,
+    Knob,
+    get_flag,
+    get_float,
+    get_int,
+    get_str,
+    knob_table_markdown,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_env_warnings()
+    yield
+    reset_env_warnings()
+
+
+class TestDeclarations:
+    def test_all_names_are_repro_prefixed(self):
+        assert all(name.startswith("REPRO_") for name in KNOBS)
+
+    def test_kinds_are_known(self):
+        assert set(k.kind for k in KNOBS.values()) <= {
+            "flag",
+            "int",
+            "float",
+            "choice",
+        }
+
+    def test_choice_knobs_default_to_a_choice_or_auto(self):
+        for knob in KNOBS.values():
+            if knob.kind == "choice":
+                assert knob.default in knob.choices
+
+    def test_every_knob_has_a_doc(self):
+        assert all(k.doc for k in KNOBS.values())
+
+    def test_pr12_knob_surface_is_declared(self):
+        expected = {
+            "REPRO_FFT_BACKEND",
+            "REPRO_FFT_WORKERS",
+            "REPRO_CWT_MEM_MB",
+            "REPRO_N_JOBS",
+            "REPRO_PARALLEL_MIN_FILES",
+            "REPRO_BATCHED_RENDER",
+            "REPRO_BATCHED_TRAIN",
+            "REPRO_KL_BLOCK_PAIRS",
+            "REPRO_FIT_CACHE_MB",
+        }
+        assert expected <= set(KNOBS)
+
+
+class TestGetters:
+    def test_get_int_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KL_BLOCK_PAIRS", "64")
+        assert get_int("REPRO_KL_BLOCK_PAIRS") == 64
+
+    def test_get_int_clamps_to_declared_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KL_BLOCK_PAIRS", "-5")
+        with pytest.warns(RuntimeWarning, match="clamping REPRO_KL_BLOCK_PAIRS"):
+            assert get_int("REPRO_KL_BLOCK_PAIRS") == 1
+
+    def test_fit_cache_minimum_allows_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIT_CACHE_MB", "0")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert get_int("REPRO_FIT_CACHE_MB") == 0
+        monkeypatch.setenv("REPRO_FIT_CACHE_MB", "-10")
+        with pytest.warns(RuntimeWarning):
+            assert get_int("REPRO_FIT_CACHE_MB") == 0
+
+    def test_n_jobs_keeps_all_cores_convention(self, monkeypatch):
+        # <= 0 means "all cores" downstream, so the registry must NOT
+        # clamp REPRO_N_JOBS.
+        monkeypatch.setenv("REPRO_N_JOBS", "-1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert get_int("REPRO_N_JOBS") == -1
+
+    def test_cwt_mem_clamps_to_one_mib(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CWT_MEM_MB", "0.01")
+        with pytest.warns(RuntimeWarning, match="clamping REPRO_CWT_MEM_MB"):
+            assert get_float("REPRO_CWT_MEM_MB") == 1.0
+
+    def test_get_flag_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCHED_TRAIN", raising=False)
+        assert get_flag("REPRO_BATCHED_TRAIN") is True
+        monkeypatch.setenv("REPRO_BATCHED_TRAIN", "0")
+        assert get_flag("REPRO_BATCHED_TRAIN") is False
+
+    def test_get_str_rejects_unknown_choice(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FFT_BACKEND", "cuda")
+        with pytest.warns(RuntimeWarning, match="REPRO_FFT_BACKEND"):
+            assert get_str("REPRO_FFT_BACKEND") == "auto"
+
+    def test_unknown_knob_raises(self):
+        with pytest.raises(KeyError, match="REPRO_TEST_NOPE"):
+            get_int("REPRO_TEST_NOPE")
+
+    def test_wrong_kind_getter_raises(self):
+        with pytest.raises(TypeError, match="flag"):
+            get_int("REPRO_BATCHED_TRAIN")
+        with pytest.raises(TypeError, match="int"):
+            get_flag("REPRO_FFT_WORKERS")
+
+
+class TestKnobTable:
+    def test_table_lists_exactly_the_in_table_knobs(self):
+        table = knob_table_markdown()
+        for knob in KNOBS.values():
+            assert (f"`{knob.name}`" in table) == knob.in_table
+
+    def test_readme_table_is_in_sync(self):
+        from repro.analysis.docs import check_knob_table
+
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert check_knob_table(readme) is None
+
+    def test_declaration_validation(self):
+        from repro.util.knobs import _declare
+
+        with pytest.raises(ValueError, match="REPRO_-prefixed"):
+            _declare(Knob(name="OTHER_X", kind="int", default=1, doc="d"))
+        with pytest.raises(ValueError, match="duplicate"):
+            knob = Knob(name="REPRO_TEST_X", kind="int", default=1, doc="d")
+            _declare(knob, knob)
+        with pytest.raises(ValueError, match="unknown kind"):
+            _declare(Knob(name="REPRO_TEST_X", kind="list", default=1, doc="d"))
+        with pytest.raises(ValueError, match="needs choices"):
+            _declare(Knob(name="REPRO_TEST_X", kind="choice", default="a", doc="d"))

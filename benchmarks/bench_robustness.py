@@ -1,0 +1,47 @@
+"""Bench: the chaos study — accuracy vs capture corruption.
+
+Asserts the acceptance criteria of the robustness substrate: screened
+acquisition holds accuracy within 2 SR points of the clean baseline at
+every documented fault rate, while the undefended capture degrades
+measurably at the highest rate.
+"""
+
+from conftest import run_once
+
+from repro.experiments import robustness
+
+
+def test_robustness_chaos_sweep(benchmark, bench_scale, save_result):
+    table = run_once(benchmark, lambda: robustness.run(bench_scale))
+    save_result("robustness", table.render())
+
+    by_key = {(row["fault rate"], row["mode"]): row for row in table.rows}
+    clean_sr = by_key[(0.0, "clean")]["SR (%)"]
+    assert clean_sr >= 90.0  # the study is meaningless on a broken baseline
+
+    max_rate = max(robustness.FAULT_RATES)
+    for rate in robustness.FAULT_RATES:
+        screened = by_key[(rate, "screened")]
+        # The acquisition screen + retry must hold the line.
+        assert screened["SR (%)"] >= clean_sr - 2.0, (
+            f"screened capture at fault rate {rate} lost more than "
+            f"2 SR points vs clean ({screened['SR (%)']:.2f} vs "
+            f"{clean_sr:.2f})"
+        )
+        # Screening must be doing visible work, not silently off.
+        assert screened["retried (%)"] > 0.0
+
+    # Undefended capture must degrade measurably at the highest rate —
+    # otherwise the fault injector itself is broken.
+    raw = by_key[(max_rate, "raw")]
+    assert raw["SR (%)"] <= clean_sr - 4.0, (
+        f"raw capture at fault rate {max_rate} barely degraded "
+        f"({raw['SR (%)']:.2f} vs clean {clean_sr:.2f}); fault injection "
+        "is not biting"
+    )
+
+    # The abstain defense (no batch trust + confidence gate) must beat
+    # the undefended mode on the windows it answers for.
+    abstain = by_key[(max_rate, "abstain")]
+    assert abstain["SR (%)"] >= raw["SR (%)"]
+    assert 0.0 < abstain["coverage (%)"] <= 100.0

@@ -1,4 +1,4 @@
-"""The replint rule set (REP001–REP006).
+"""The replint rule set (REP001–REP007).
 
 Importing this package populates :data:`repro.analysis.core.RULE_REGISTRY`;
 each module holds one rule so a rule's scope, heuristics, and rationale
@@ -10,12 +10,21 @@ from __future__ import annotations
 from typing import List
 
 from ..core import RULE_REGISTRY, Rule
-from . import determinism, dtypes, exports, knobs, layering, parity
+from . import (
+    determinism,
+    dtypes,
+    exceptions,
+    exports,
+    knobs,
+    layering,
+    parity,
+)
 
 __all__ = [
     "all_rules",
     "determinism",
     "dtypes",
+    "exceptions",
     "exports",
     "knobs",
     "layering",

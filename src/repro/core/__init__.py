@@ -11,10 +11,11 @@ from .malware import (
     majority_stream,
 )
 from .sequence import SequenceDisassembler
-from .types import DisassembledInstruction, render_partial
+from .types import ABSTAIN_KEY, DisassembledInstruction, render_partial
 from .voting import PairwiseVotingClassifier
 
 __all__ = [
+    "ABSTAIN_KEY",
     "CSA_THRESHOLD_FACTOR",
     "DifferentialDetector",
     "DisassembledInstruction",

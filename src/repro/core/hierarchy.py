@@ -36,9 +36,49 @@ from ..ml.base import Classifier
 from ..ml.discriminant import QDA
 from ..power.dataset import TraceSet
 from ..util.knobs import get_flag
-from .types import DisassembledInstruction
+from .types import ABSTAIN_KEY, DisassembledInstruction
 
 __all__ = ["LevelModel", "SideChannelDisassembler"]
+
+
+def _class_columns(classifier, codes: np.ndarray) -> np.ndarray:
+    """Map predicted label codes to score-matrix columns."""
+    classes = getattr(classifier, "classes_", None)
+    if classes is None:
+        return np.asarray(codes, dtype=np.int64)
+    return np.searchsorted(np.asarray(classes), codes)
+
+
+def _classifier_confidence(
+    classifier, features: np.ndarray, codes: np.ndarray
+) -> np.ndarray:
+    """Per-row confidence of the predicted class, in ``[0, 1]``.
+
+    Prefers calibrated posteriors (``predict_proba``), falls back to a
+    softmax over per-class decision scores, and degrades to certainty
+    (all ones — never abstain) for classifiers exposing neither, such as
+    the pairwise-voting SVM whose decision surface is per-pair, not
+    per-class.
+    """
+    n = len(codes)
+    rows = np.arange(n)
+    proba_fn = getattr(classifier, "predict_proba", None)
+    if proba_fn is not None:
+        proba = np.asarray(proba_fn(features), dtype=np.float64)
+        return proba[rows, _class_columns(classifier, codes)]
+    decision_fn = getattr(classifier, "decision_function", None)
+    classes = getattr(classifier, "classes_", None)
+    if decision_fn is not None and classes is not None:
+        scores = np.asarray(decision_fn(features), dtype=np.float64)
+        if scores.ndim == 1 and len(classes) == 2:
+            # Binary margin: logistic squash of its absolute value.
+            return 1.0 / (1.0 + np.exp(-np.abs(scores)))
+        if scores.ndim == 2 and scores.shape[1] == len(classes):
+            scores = scores - scores.max(axis=1, keepdims=True)
+            proba = np.exp(scores)
+            proba /= proba.sum(axis=1, keepdims=True)
+            return proba[rows, _class_columns(classifier, codes)]
+    return np.ones(n, dtype=np.float64)
 
 
 @dataclass
@@ -88,6 +128,24 @@ class LevelModel:
         """Predict class keys for raw windows."""
         names = np.asarray(self.label_names, dtype=object)
         return list(names[self.predict(windows, adapt=adapt)])
+
+    def predict_with_confidence(
+        self,
+        windows: np.ndarray,
+        n_components: Optional[int] = None,
+        adapt: Optional[bool] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Predict integer codes plus per-row confidence in ``[0, 1]``.
+
+        Confidence is the classifier's posterior for the winning class
+        when it exposes one (see :func:`_classifier_confidence`); a
+        classifier with no usable score surface reports certainty, so
+        confidence gating degrades to never abstaining rather than
+        abstaining on everything.
+        """
+        features = self.pipeline.transform(windows, n_components, adapt=adapt)
+        codes = self.classifier.predict(features)
+        return codes, _classifier_confidence(self.classifier, features, codes)
 
     def score(self, trace_set: TraceSet) -> float:
         """Successful recognition rate on a labelled trace set."""
@@ -204,6 +262,56 @@ class SideChannelDisassembler:
         )
         return numbers[codes]
 
+    def predict_groups_with_confidence(
+        self, windows: np.ndarray, adapt: Optional[bool] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Level-1 prediction with per-window confidence."""
+        if self.group_model is None:
+            raise RuntimeError("group level is not fitted")
+        codes, confidence = self.group_model.predict_with_confidence(
+            windows, adapt=adapt
+        )
+        numbers = np.array(
+            [int(name[1:]) for name in self.group_model.label_names]
+        )
+        return numbers[codes], confidence
+
+    def predict_instructions_with_confidence(
+        self,
+        windows: np.ndarray,
+        groups: Optional[np.ndarray] = None,
+        group_confidence: Optional[np.ndarray] = None,
+        adapt: Optional[bool] = None,
+    ) -> Tuple[List[str], np.ndarray]:
+        """Level-2 prediction with chained per-window confidence.
+
+        The reported confidence is the product of the level-1 and
+        level-2 posteriors for the path taken through the hierarchy —
+        the probability both routing decisions were right.  Windows
+        routed to a group without a fitted level 2 keep their group-only
+        placeholder key and the level-1 confidence alone.
+        """
+        windows = np.asarray(windows)
+        if groups is None or group_confidence is None:
+            groups, group_confidence = self.predict_groups_with_confidence(
+                windows, adapt=adapt
+            )
+        keys = np.empty(len(windows), dtype=object)
+        confidence = np.asarray(group_confidence, dtype=np.float64).copy()
+        for group in np.unique(groups):
+            model = self.instruction_models.get(int(group))
+            rows = np.flatnonzero(groups == group)
+            if model is None:
+                keys[rows] = f"G{int(group)}?"
+                continue
+            codes, level_confidence = model.predict_with_confidence(
+                windows[rows], adapt=adapt
+            )
+            names = np.asarray(model.label_names, dtype=object)
+            keys[rows] = names[codes]
+            confidence[rows] *= level_confidence
+        return list(keys), confidence
+
     def predict_instructions(
         self,
         windows: np.ndarray,
@@ -281,7 +389,10 @@ class SideChannelDisassembler:
         return numbers[codes]
 
     def disassemble(
-        self, windows: np.ndarray, adapt: Optional[bool] = None
+        self,
+        windows: np.ndarray,
+        adapt: Optional[bool] = None,
+        abstain_threshold: Optional[float] = None,
     ) -> List[DisassembledInstruction]:
         """Full hierarchical disassembly of a window sequence.
 
@@ -290,10 +401,27 @@ class SideChannelDisassembler:
             adapt: batch-adaptation override; use ``False`` for real-code
                 streams whose instruction mixture is skewed (see
                 :meth:`predict_instructions`).
+            abstain_threshold: when set, windows whose chained hierarchy
+                confidence falls below it are reported as
+                :data:`~repro.core.types.ABSTAIN_KEY` (``"??"``) instead
+                of a low-confidence guess — a corrupted window that
+                slipped past acquisition screening mostly lands here
+                instead of becoming a silent misprediction.  ``None``
+                (default) never abstains.
         """
         windows = np.asarray(windows)
-        groups = self.predict_groups(windows, adapt=adapt)
-        keys = self.predict_instructions(windows, groups, adapt=adapt)
+        confidence: Optional[np.ndarray]
+        if abstain_threshold is None:
+            groups = self.predict_groups(windows, adapt=adapt)
+            keys = self.predict_instructions(windows, groups, adapt=adapt)
+            confidence = None
+        else:
+            groups, group_confidence = self.predict_groups_with_confidence(
+                windows, adapt=adapt
+            )
+            keys, confidence = self.predict_instructions_with_confidence(
+                windows, groups, group_confidence, adapt=adapt
+            )
         rd = (
             self.predict_register("Rd", windows, adapt=adapt)
             if "Rd" in self.register_models
@@ -306,6 +434,16 @@ class SideChannelDisassembler:
         )
         out: List[DisassembledInstruction] = []
         for i, key in enumerate(keys):
+            conf = None if confidence is None else float(confidence[i])
+            if conf is not None and conf < abstain_threshold:
+                out.append(
+                    DisassembledInstruction(
+                        key=ABSTAIN_KEY,
+                        group=int(groups[i]),
+                        confidence=conf,
+                    )
+                )
+                continue
             want_rd, want_rr = _register_slots(key)
             out.append(
                 DisassembledInstruction(
@@ -313,6 +451,7 @@ class SideChannelDisassembler:
                     group=int(groups[i]),
                     rd=int(rd[i]) if want_rd and rd[i] is not None else None,
                     rr=int(rr[i]) if want_rr and rr[i] is not None else None,
+                    confidence=conf,
                 )
             )
         return out

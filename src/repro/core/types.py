@@ -8,7 +8,11 @@ from typing import Optional
 from ..isa import REGISTRY, OperandKind
 from ..isa.specs import InstructionSpec
 
-__all__ = ["DisassembledInstruction", "render_partial"]
+__all__ = ["ABSTAIN_KEY", "DisassembledInstruction", "render_partial"]
+
+#: Key reported for a window the disassembler declined to classify
+#: (confidence below the abstention threshold, or an unfitted group).
+ABSTAIN_KEY = "??"
 
 
 @dataclass(frozen=True)
@@ -17,22 +21,37 @@ class DisassembledInstruction:
 
     The power side channel recovers the instruction class and the register
     addresses (paper §5.2-5.3); immediate values and branch offsets are not
-    recoverable and render as placeholders.
+    recoverable and render as placeholders.  ``key`` may also be the
+    :data:`ABSTAIN_KEY` sentinel (confidence-gated abstention) or a
+    ``"G<n>?"`` group placeholder — neither names a concrete class.
     """
 
     key: str  #: predicted instruction class (e.g. ``"ADC"``)
     group: Optional[int]  #: predicted Table 2 group (level-1 output)
     rd: Optional[int] = None  #: predicted destination register address
     rr: Optional[int] = None  #: predicted source register address
+    confidence: Optional[float] = None  #: classifier confidence, if gated
+
+    @property
+    def abstained(self) -> bool:
+        """Whether the disassembler declined to name a class."""
+        return self.key == ABSTAIN_KEY
 
     @property
     def spec(self) -> InstructionSpec:
-        """Spec of the predicted class."""
+        """Spec of the predicted class (raises for abstentions)."""
+        if self.key not in REGISTRY:
+            raise KeyError(
+                f"{self.key!r} is not a concrete instruction class "
+                "(abstained or group-only prediction)"
+            )
         return REGISTRY[self.key]
 
     @property
     def text(self) -> str:
-        """Best-effort assembly rendering."""
+        """Best-effort assembly rendering (abstentions render as-is)."""
+        if self.key not in REGISTRY:
+            return self.key
         return render_partial(self.spec, self.rd, self.rr)
 
 

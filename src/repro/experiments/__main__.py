@@ -10,6 +10,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -24,6 +25,7 @@ from . import (
     fig6,
     malware,
     multisession,
+    robustness,
     sampling_rate,
     svm_grid,
     table1,
@@ -53,6 +55,9 @@ RUNNERS = {
     ),
     "multisession": (
         multisession.run, "multi-session profiling robustness (extension)"
+    ),
+    "robustness": (
+        robustness.run, "accuracy vs capture faults: raw/screened/abstain"
     ),
     "malware": (malware.run, "the §5.7 masking-removal case study"),
     "ablation-cwt": (ablations.run_cwt_ablation, "CWT vs time domain"),
@@ -95,6 +100,14 @@ def main(argv=None) -> int:
         default="bench",
         help="workload preset: smoke | bench | paper (default: bench)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist per-stage checkpoints here (atomic writes); an "
+        "interrupted run resumes from the first missing stage.  Only "
+        "honoured by runners that support it (endtoend, multisession, "
+        "robustness, ablations); one subdirectory per experiment.",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -114,7 +127,15 @@ def main(argv=None) -> int:
         if name == "table2":
             result = runner()
         else:
-            result = runner(args.scale)
+            kwargs = {}
+            if (
+                args.checkpoint_dir is not None
+                and "checkpoint_dir" in inspect.signature(runner).parameters
+            ):
+                # One subdirectory per experiment so 'all' runs don't
+                # collide on the meta fingerprint.
+                kwargs["checkpoint_dir"] = f"{args.checkpoint_dir}/{name}"
+            result = runner(args.scale, **kwargs)
         _print_result(result)
         elapsed = time.time() - started  # replint: disable=REP003 -- progress display
         print(f"[{name} completed in {elapsed:.1f} s]\n")

@@ -12,25 +12,56 @@ reports:
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from ..core.hierarchy import SideChannelDisassembler
 from ..isa import REGISTRY
 from ..power.acquisition import Acquisition
+from .checkpoint import checkpoint_store
 from .configs import CLASSIFIERS, register_config, stationary_config
 from .results import ResultTable
 from .scales import get_scale
 from .workloads import capture_group_set, group_classes
 
-__all__ = ["run"]
+__all__ = ["run", "stage_rng"]
 
 
-def run(scale="bench", classifier: str = "QDA") -> ResultTable:
-    """Regenerate the end-to-end recognition-rate summary."""
+def stage_rng(seed: int, stage: str) -> np.random.Generator:
+    """Independent rng for one checkpointable experiment stage.
+
+    Derived from ``(seed, stage name)`` rather than threaded through the
+    run, so a resumed run that skips completed stages draws exactly the
+    randomness an uninterrupted run would have drawn for the stages it
+    still executes.
+    """
+    return np.random.default_rng(
+        (int(seed) << 32) ^ zlib.crc32(stage.encode("utf-8"))
+    )
+
+
+def run(
+    scale="bench", classifier: str = "QDA", checkpoint_dir=None
+) -> ResultTable:
+    """Regenerate the end-to-end recognition-rate summary.
+
+    Args:
+        scale: workload preset name or :class:`~repro.experiments.scales.Scale`.
+        classifier: template classifier name (``CLASSIFIERS`` key).
+        checkpoint_dir: when set, each training stage persists its
+            outcome there atomically and an interrupted run resumes from
+            the first missing stage (same result file either way).
+    """
     scale = get_scale(scale)
     factory = CLASSIFIERS[classifier]
     acq = Acquisition(seed=scale.seed, n_jobs=scale.n_jobs)
-    rng = np.random.default_rng(scale.seed + 52)
+    store = checkpoint_store(
+        checkpoint_dir,
+        experiment="endtoend",
+        scale=scale.name,
+        classifier=classifier,
+    )
     fraction = scale.n_train_per_class / (
         scale.n_train_per_class + scale.n_test_per_class
     )
@@ -51,37 +82,52 @@ def run(scale="bench", classifier: str = "QDA") -> ResultTable:
     )
 
     # Level 1: groups.
-    group_full = capture_group_set(
-        acq, scale.n_train_per_class + scale.n_test_per_class,
-        scale.n_programs,
-    )
-    group_train, group_test = group_full.split_random(fraction, rng)
-    group_model = dis.fit_group_level(group_train)
-    group_sr = group_model.score(group_test)
+    def groups_stage():
+        group_full = capture_group_set(
+            acq, scale.n_train_per_class + scale.n_test_per_class,
+            scale.n_programs,
+        )
+        group_train, group_test = group_full.split_random(
+            fraction, stage_rng(scale.seed + 52, "groups")
+        )
+        model = dis.fit_group_level(group_train)
+        return model, model.score(group_test)
+
+    group_model, group_sr = store.stage("groups", groups_stage)
+    dis.group_model = group_model
     table.add_row(level="groups (level 1)", **{"SR (%)": group_sr * 100.0},
                   detail="8-way")
 
     # Level 2: instructions within each group.
+    def instruction_stage(group: int, keys):
+        full = acq.capture_instruction_set(
+            keys, scale.n_train_per_class + scale.n_test_per_class,
+            scale.n_programs,
+        )
+        train, test = full.split_random(
+            fraction, stage_rng(scale.seed + 52, f"group-{group}")
+        )
+        model = dis.fit_instruction_level(group, train)
+        true_keys = [test.label_names[c] for c in test.labels]
+        return model, model.score(test), test.traces, true_keys
+
     instruction_srs = []
     pooled_true_keys = []
     pooled_traces = []
     for group in range(1, 9):
         keys = group_classes(group, scale)
-        full = acq.capture_instruction_set(
-            keys, scale.n_train_per_class + scale.n_test_per_class,
-            scale.n_programs,
+        model, sr, test_traces, true_keys = store.stage(
+            f"group-{group}", lambda: instruction_stage(group, keys)
         )
-        train, test = full.split_random(fraction, rng)
-        model = dis.fit_instruction_level(group, train)
-        sr = model.score(test)
+        dis.instruction_models[group] = model
         instruction_srs.append(sr)
         table.add_row(
             level=f"G{group} instructions",
             **{"SR (%)": sr * 100.0},
             detail=f"{len(keys)}-way",
         )
-        pooled_traces.append(test.traces)
-        pooled_true_keys.extend(test.label_names[c] for c in test.labels)
+        pooled_traces.append(test_traces)
+        pooled_true_keys.extend(true_keys)
 
     # Measured end-to-end opcode SR: level 1 then level 2 on pooled tests.
     # Scoring is canonical: e.g. a BSET trace with s=2 carries exactly
@@ -95,7 +141,9 @@ def run(scale="bench", classifier: str = "QDA") -> ResultTable:
         return spec.alias_of or spec.key
 
     pooled = np.concatenate(pooled_traces)
-    predicted_keys = dis.predict_instructions(pooled)
+    predicted_keys = store.stage(
+        "pooled", lambda: dis.predict_instructions(pooled)
+    )
     strict_sr = float(
         np.mean([p == t for p, t in zip(predicted_keys, pooled_true_keys)])
     )
@@ -120,16 +168,25 @@ def run(scale="bench", classifier: str = "QDA") -> ResultTable:
     register_dis = SideChannelDisassembler(
         register_config(scale.components(45)), classifier_factory=factory
     )
-    register_srs = {}
-    for role in ("Rd", "Rr"):
+    def register_stage(role: str):
         full = acq.capture_register_set(
             role, scale.registers,
             scale.n_train_per_class + scale.n_test_per_class,
             scale.n_programs,
         )
-        train, test = full.split_random(fraction, rng)
+        train, test = full.split_random(
+            fraction, stage_rng(scale.seed + 52, f"register-{role}")
+        )
         model = register_dis.fit_register_level(role, train)
-        register_srs[role] = model.score(test)
+        return model, model.score(test)
+
+    register_srs = {}
+    for role in ("Rd", "Rr"):
+        model, sr = store.stage(
+            f"register-{role}", lambda: register_stage(role)
+        )
+        register_dis.register_models[role] = model
+        register_srs[role] = sr
         table.add_row(
             level=f"{role} register",
             **{"SR (%)": register_srs[role] * 100.0},

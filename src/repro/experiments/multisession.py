@@ -27,6 +27,7 @@ from ..ml.discriminant import QDA
 from ..power.acquisition import Acquisition
 from ..power.dataset import TraceSet
 from ..power.device import SessionShift
+from .checkpoint import checkpoint_store
 from .configs import csa_config_full, no_csa_config
 from .results import ResultTable
 from .scales import get_scale
@@ -53,29 +54,46 @@ def _relabel_programs(trace_set: TraceSet, offset: int) -> TraceSet:
     )
 
 
-def run(scale="bench") -> ResultTable:
-    """Regenerate the multi-session robustness comparison (QDA)."""
+def run(scale="bench", checkpoint_dir=None) -> ResultTable:
+    """Regenerate the multi-session robustness comparison (QDA).
+
+    With ``checkpoint_dir`` set, each capture session and each fitted
+    configuration persists atomically; an interrupted run resumes from
+    the first missing stage and yields the same table.
+    """
     scale = get_scale(scale)
+    store = checkpoint_store(
+        checkpoint_dir, experiment="multisession", scale=scale.name
+    )
     n_programs = max(scale.csa_programs // 2, 2)
     n_per_session = scale.csa_train_per_class // 2
 
-    sessions = []
-    for index, session in enumerate(PROFILING_SESSIONS):
+    def session_stage(index: int, session: SessionShift) -> TraceSet:
         acq = Acquisition(
             seed=scale.seed + 10 * index, session=session, n_jobs=scale.n_jobs
         )
         captured = acq.capture_instruction_set(
             list(CLASS_PAIR), n_per_session, n_programs
         )
-        sessions.append(_relabel_programs(captured, 100 * index))
+        return _relabel_programs(captured, 100 * index)
+
+    sessions = [
+        store.stage(
+            f"session-{index}", lambda: session_stage(index, session)
+        )
+        for index, session in enumerate(PROFILING_SESSIONS)
+    ]
 
     single = sessions[0]
     multi = TraceSet.concatenate(sessions)
 
-    deployed = Acquisition(seed=scale.seed, session=DEPLOYMENT_SESSION)
-    test = deployed.capture_mixed_program(
-        list(CLASS_PAIR), scale.n_test_per_class * 3, program_id=777
-    )
+    def deploy_stage() -> TraceSet:
+        deployed = Acquisition(seed=scale.seed, session=DEPLOYMENT_SESSION)
+        return deployed.capture_mixed_program(
+            list(CLASS_PAIR), scale.n_test_per_class * 3, program_id=777
+        )
+
+    test = store.stage("deploy", deploy_stage)
 
     table = ResultTable(
         title="Multi-session profiling: ADC vs AND on an unseen session (%)",
@@ -95,11 +113,12 @@ def run(scale="bench") -> ResultTable:
         ("2 sessions", "CSA", csa_config_full(), multi),
     )
     for training, config_name, config, train in configurations:
-        dis = SideChannelDisassembler(config, classifier_factory=QDA)
-        model = dis.fit_instruction_level(1, train)
-        table.add_row(
-            training=training,
-            config=config_name,
-            **{"SR (%)": model.score(test) * 100.0},
-        )
+
+        def fit_stage(config=config, train=train) -> float:
+            dis = SideChannelDisassembler(config, classifier_factory=QDA)
+            model = dis.fit_instruction_level(1, train)
+            return model.score(test) * 100.0
+
+        sr = store.stage(f"fit-{training}-{config_name}", fit_stage)
+        table.add_row(training=training, config=config_name, **{"SR (%)": sr})
     return table

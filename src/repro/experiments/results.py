@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Mapping, Sequence
+
+from ..util.io import atomic_write_json
 
 __all__ = ["ResultTable"]
 
@@ -71,6 +75,37 @@ class ResultTable:
         if self.notes:
             lines.append(f"note: {self.notes}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (round-trips via :meth:`from_dict`)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "paper_reference": dict(self.paper_reference),
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ResultTable":
+        """Rebuild a table serialized with :meth:`to_dict`."""
+        return cls(
+            title=str(payload["title"]),
+            columns=list(payload["columns"]),  # type: ignore[arg-type]
+            rows=[dict(r) for r in payload.get("rows", ())],  # type: ignore[union-attr]
+            paper_reference=dict(payload.get("paper_reference", {})),  # type: ignore[arg-type]
+            notes=str(payload.get("notes", "")),
+        )
+
+    def save(self, path) -> None:
+        """Persist to JSON atomically (crash leaves old file intact)."""
+        atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path) -> "ResultTable":
+        """Load a table saved with :meth:`save`."""
+        with Path(path).open("r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()

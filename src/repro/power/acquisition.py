@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from ..isa.assembler import Instruction
 from ..isa.groups import classification_classes
 from ..sim.cpu import AvrCpu
 from ..sim.state import SRAM_START
-from ..util.knobs import get_int
+from ..util.knobs import get_flag, get_int
 from ..util.parallel import parallel_map
 
 #: Minimum program files per worker before capture goes parallel.  One
@@ -44,7 +44,9 @@ def _min_files_per_worker() -> int:
 from .config import DEFAULT_GEOMETRY, PowerModelConfig, TraceGeometry
 from .dataset import TraceSet
 from .device import DeviceProfile, ProgramShift, SessionShift
+from .faults import FaultContext, FaultInjector
 from .model import PowerModel
+from .quality import RetryPolicy, ScreeningStats, TraceScreener
 from .scope import Oscilloscope
 
 __all__ = [
@@ -236,7 +238,9 @@ class _FileCaptureTask:
         self.fixed = dict(fixed) if fixed else None
         self.target_sampler = target_sampler
 
-    def __call__(self, task: Tuple[int, int]) -> np.ndarray:
+    def __call__(
+        self, task: Tuple[int, int]
+    ) -> Tuple[np.ndarray, Optional["ScreeningStats"]]:
         file_index, count = task
         return self.acquisition._capture_class_file(
             self.class_key,
@@ -277,6 +281,19 @@ class Acquisition:
             ``REPRO_N_JOBS`` → serial).  Program files are partitioned by
             their already-derived per-file sub-seeds, so any worker count
             produces bit-for-bit identical traces.
+        faults: capture-fault injector (``None`` → ``REPRO_FAULT_RATE``;
+            off by default).  The averaged reference capture is never
+            faulted — it models the one trace an operator inspects by
+            hand before a campaign.
+        screener: per-trace quality screening.  ``None`` → automatic
+            (screen whenever fault injection is active, unless
+            ``REPRO_FAULT_SCREEN=0``); ``True``/``False`` force it
+            on/off with default thresholds; a :class:`TraceScreener`
+            instance is used as-is.
+        retry_policy: re-capture policy for windows that fail screening
+            (``None`` → ``REPRO_FAULT_RETRIES``/``REPRO_FAULT_BACKOFF``).
+            Re-captures redraw the fault dice per attempt; everything
+            stays bit-for-bit reproducible for any worker count.
     """
 
     def __init__(
@@ -291,6 +308,9 @@ class Acquisition:
         session: Optional[SessionShift] = None,
         reference_subtraction: bool = True,
         n_jobs: Optional[int] = None,
+        faults: Optional[FaultInjector] = None,
+        screener=None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.config = config if config is not None else PowerModelConfig()
         self.device = device if device is not None else DeviceProfile()
@@ -310,6 +330,24 @@ class Acquisition:
         self.session = session if session is not None else SessionShift()
         self.reference_subtraction = reference_subtraction
         self.n_jobs = n_jobs
+        self.faults = faults if faults is not None else FaultInjector.from_env()
+        if screener is None:
+            screener = (
+                TraceScreener()
+                if self.faults is not None and get_flag("REPRO_FAULT_SCREEN")
+                else None
+            )
+        elif screener is True:
+            screener = TraceScreener()
+        elif screener is False:
+            screener = None
+        self.screener: Optional[TraceScreener] = screener
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy.from_env()
+        )
+        #: Per-class-label :class:`ScreeningStats`, refreshed by each
+        #: capture method (empty while faults + screening are off).
+        self.screening_stats: Dict[str, ScreeningStats] = {}
         self._reference: Optional[np.ndarray] = None
 
     # -- seeding -------------------------------------------------------------
@@ -432,6 +470,89 @@ class Acquisition:
             self._reference = windows.mean(axis=0)
         return self._reference
 
+    # -- fault injection + screening -----------------------------------------
+    def _fault_context(self) -> FaultContext:
+        return FaultContext.from_scope(self.scope, self.geometry)
+
+    def _quality_cycle(
+        self, windows: np.ndarray, label: str, file_token
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[ScreeningStats]]:
+        """Fault-inject, screen, and re-capture one file's raw windows.
+
+        Models the physical loop: capture → integrity screen → re-arm
+        and re-capture flagged windows (fault dice redrawn per attempt,
+        the underlying signal deterministic) → quarantine whatever still
+        fails after :class:`RetryPolicy.max_attempts`.  Runs entirely
+        inside the per-file work item, so the result is independent of
+        worker count.  Returns ``(surviving windows, keep mask, stats)``
+        — the mask lets callers subset per-window labels consistently;
+        stats is ``None`` when both faults and screening are off.
+        """
+        all_kept = np.ones(len(windows), dtype=bool)
+        injector, screener = self.faults, self.screener
+        if injector is None and screener is None:
+            return windows, all_kept, None
+        ctx = self._fault_context()
+        clean = windows
+        stats = ScreeningStats(n_captured=len(windows))
+        if injector is not None:
+            rng = self._rng("faults", label, "file", file_token, "attempt", 0)
+            current, applied = injector.corrupt(clean, rng, ctx)
+            stats.n_faulted = sum(1 for name in applied if name)
+        else:
+            current = clean.copy()
+        if screener is None:
+            stats.n_kept = len(current)
+            return current, all_kept, stats
+        report = screener.screen(current, ctx)
+        bad = ~report.passed
+        stats.n_flagged = int(bad.sum())
+        for code, count in report.counts().items():
+            stats.reasons[code] = stats.reasons.get(code, 0) + count
+        attempt = 0
+        while bad.any() and attempt < self.retry_policy.max_attempts:
+            attempt += 1
+            self.retry_policy.wait(attempt)
+            rows = np.flatnonzero(bad)
+            stats.n_retried += len(rows)
+            recapture = clean[rows]
+            if injector is not None:
+                rng = self._rng(
+                    "faults", label, "file", file_token, "attempt", attempt
+                )
+                recapture, _ = injector.corrupt(recapture, rng, ctx)
+            current[rows] = recapture
+            # Re-screen the whole batch: the desync detector's median
+            # template sharpens as corrupt rows are replaced.
+            report = screener.screen(current, ctx)
+            bad = ~report.passed
+        stats.n_quarantined = int(bad.sum())
+        keep = ~bad
+        stats.n_kept = int(keep.sum())
+        return current[keep], keep, stats
+
+    def _record_stats(
+        self, label: str, stats_list: Iterable[Optional[ScreeningStats]]
+    ) -> Optional[ScreeningStats]:
+        """Merge per-file stats under one class label (None when off)."""
+        merged: Optional[ScreeningStats] = None
+        for stats in stats_list:
+            if stats is None:
+                continue
+            if merged is None:
+                merged = ScreeningStats()
+            merged.merge(stats)
+        if merged is not None:
+            self.screening_stats[label] = merged
+        return merged
+
+    def screening_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-class quality report of the captures run so far."""
+        return {
+            label: stats.as_dict()
+            for label, stats in self.screening_stats.items()
+        }
+
     def _capture_class_file(
         self,
         class_key: str,
@@ -440,7 +561,7 @@ class Acquisition:
         target_sampler,
         file_index: int,
         count: int,
-    ) -> np.ndarray:
+    ) -> Tuple[np.ndarray, Optional[ScreeningStats]]:
         """Capture one program file's windows (the per-file unit of work)."""
         rng = self._rng("class", label, "file", file_index)
         shift = ProgramShift.sample(rng) if self.program_shift else None
@@ -453,9 +574,10 @@ class Acquisition:
         )
         trace = self._capture_program(instructions, rng, shift)
         windows = self._windows(trace, targets, rng)
+        windows, _, stats = self._quality_cycle(windows, label, file_index)
         if self.reference_subtraction:
             windows = windows - self.reference_window()
-        return windows
+        return windows, stats
 
     def capture_class(
         self,
@@ -495,15 +617,18 @@ class Acquisition:
             if count > 0
         ]
         run = _FileCaptureTask(self, class_key, label, fixed, target_sampler)
-        all_windows = parallel_map(
+        results = parallel_map(
             run,
             tasks,
             n_jobs=n_jobs if n_jobs is not None else self.n_jobs,
             min_items_per_worker=_min_files_per_worker(),
         )
+        all_windows = [windows for windows, _ in results]
+        self._record_stats(label, (stats for _, stats in results))
         program_ids: List[int] = []
-        for (file_index, count), _ in zip(tasks, all_windows):
-            program_ids.extend([program_id_offset + file_index] * count)
+        for (file_index, _), windows in zip(tasks, all_windows):
+            # Quarantine may have dropped rows; count what survived.
+            program_ids.extend([program_id_offset + file_index] * len(windows))
         return np.concatenate(all_windows), np.array(program_ids)
 
     def capture_instruction_set(
@@ -524,13 +649,23 @@ class Acquisition:
             traces.append(windows)
             labels.extend([code] * len(windows))
             program_ids.append(pids)
+        meta: Dict[str, object] = {
+            "kind": "instruction", "n_programs": n_programs,
+        }
+        screening = {
+            key: self.screening_stats[key].as_dict()
+            for key in class_keys
+            if key in self.screening_stats
+        }
+        if screening:
+            meta["screening"] = screening
         return TraceSet(
             traces=np.concatenate(traces),
             labels=np.array(labels),
             label_names=tuple(class_keys),
             program_ids=np.concatenate(program_ids),
             device=self.device.name,
-            meta={"kind": "instruction", "n_programs": n_programs},
+            meta=meta,
         )
 
     def capture_register_set(
@@ -588,13 +723,23 @@ class Acquisition:
             traces.append(windows)
             labels.extend([code] * len(windows))
             program_ids.append(pids)
+        meta: Dict[str, object] = {
+            "kind": f"register-{role}", "n_programs": n_programs,
+        }
+        screening = {
+            name: self.screening_stats[name].as_dict()
+            for name in label_names
+            if name in self.screening_stats
+        }
+        if screening:
+            meta["screening"] = screening
         return TraceSet(
             traces=np.concatenate(traces),
             labels=np.array(labels),
             label_names=label_names,
             program_ids=np.concatenate(program_ids),
             device=self.device.name,
-            meta={"kind": f"register-{role}", "n_programs": n_programs},
+            meta=meta,
         )
 
     def capture_mixed_program(
@@ -647,6 +792,19 @@ class Acquisition:
         )
         trace = self._capture_program(instructions, rng, shift)
         windows = self._windows(trace, targets, rng)
+        label = "mixed:" + ",".join(class_keys)
+        windows, keep, stats = self._quality_cycle(
+            windows, label, f"mixed-{program_id}"
+        )
+        # Quarantined windows drop out of the labelled stream the same
+        # way an operator would discard an unusable capture.
+        order = order[keep]
+        meta: Dict[str, object] = {
+            "kind": "mixed-program", "program_id": program_id,
+        }
+        if stats is not None:
+            self._record_stats(label, [stats])
+            meta["screening"] = {label: stats.as_dict()}
         if self.reference_subtraction:
             windows = windows - self.reference_window()
         return TraceSet(
@@ -655,7 +813,7 @@ class Acquisition:
             label_names=tuple(class_keys),
             program_ids=np.full(len(order), program_id),
             device=self.device.name,
-            meta={"kind": "mixed-program", "program_id": program_id},
+            meta=meta,
         )
 
     def capture_program(self, program) -> ProgramCapture:

@@ -42,10 +42,34 @@ class TraceSet:
         self.traces = np.asarray(self.traces, dtype=np.float32)
         self.labels = np.asarray(self.labels, dtype=np.int64)
         self.program_ids = np.asarray(self.program_ids, dtype=np.int64)
+        if self.traces.ndim != 2:
+            raise ValueError(
+                "traces must be a 2-D (n_traces, n_samples) array, got "
+                f"shape {self.traces.shape}"
+            )
         if len(self.traces) != len(self.labels):
-            raise ValueError("traces and labels length mismatch")
+            raise ValueError(
+                f"traces and labels length mismatch: {len(self.traces)} "
+                f"traces vs {len(self.labels)} labels"
+            )
         if len(self.traces) != len(self.program_ids):
-            raise ValueError("traces and program_ids length mismatch")
+            raise ValueError(
+                f"traces and program_ids length mismatch: "
+                f"{len(self.traces)} traces vs {len(self.program_ids)} ids"
+            )
+        if not np.isfinite(self.traces).all():
+            bad = np.flatnonzero(~np.isfinite(self.traces).all(axis=1))
+            raise ValueError(
+                f"traces contain NaN/inf in {len(bad)} row(s) "
+                f"(first bad rows: {bad[:5].tolist()}); corrupt captures "
+                "must be screened or quarantined before dataset assembly"
+            )
+        expected = self.meta.get("n_samples")
+        if expected is not None and self.traces.shape[1] != int(expected):
+            raise ValueError(
+                f"expected {int(expected)} samples per trace (per "
+                f"meta['n_samples']), got {self.traces.shape[1]}"
+            )
 
     def __len__(self) -> int:
         return len(self.traces)
@@ -59,6 +83,18 @@ class TraceSet:
     def n_classes(self) -> int:
         """Number of distinct classes in the label table."""
         return len(self.label_names)
+
+    @property
+    def screening(self) -> Dict[str, Dict[str, object]]:
+        """Per-class acquisition screening stats (empty when unscreened).
+
+        Populated by :class:`~repro.power.acquisition.Acquisition` when
+        fault injection / quality screening was active during capture;
+        keys are class labels, values the plain-dict form of
+        :class:`~repro.power.quality.ScreeningStats`.
+        """
+        stats = self.meta.get("screening")
+        return dict(stats) if isinstance(stats, dict) else {}
 
     def key_of(self, index: int) -> str:
         """Class key of trace ``index``."""

@@ -154,6 +154,74 @@ KNOBS: Dict[str, Knob] = _declare(
         ),
     ),
     Knob(
+        name="REPRO_TASK_TIMEOUT",
+        kind="float",
+        default=0.0,
+        minimum=0.0,
+        default_label="0 (off)",
+        doc=(
+            "seconds without any capture task completing before the "
+            "worker pool is declared stalled and torn down (completed "
+            "results are kept, the rest retried; results unchanged)"
+        ),
+    ),
+    Knob(
+        name="REPRO_TASK_RETRIES",
+        kind="int",
+        default=1,
+        minimum=0,
+        doc=(
+            "fresh-pool retry rounds for capture tasks whose worker "
+            "crashed or stalled, before the serial salvage pass "
+            "(results unchanged)"
+        ),
+    ),
+    Knob(
+        name="REPRO_FAULT_RATE",
+        kind="float",
+        default=0.0,
+        minimum=0.0,
+        alias="`Acquisition(faults=...)`",
+        default_label="0 (off)",
+        doc=(
+            "per-window probability of injecting a simulated capture "
+            "fault (clipping, trigger misfire, dropout, burst, "
+            "flatline, drift)"
+        ),
+    ),
+    Knob(
+        name="REPRO_FAULT_SCREEN",
+        kind="flag",
+        default=True,
+        alias="`Acquisition(screener=...)`",
+        doc=(
+            "set `0` to disable per-trace quality screening when fault "
+            "injection is active (corrupt traces are then kept)"
+        ),
+    ),
+    Knob(
+        name="REPRO_FAULT_RETRIES",
+        kind="int",
+        default=2,
+        minimum=0,
+        doc=(
+            "re-capture attempts for a trace that fails quality "
+            "screening before it is quarantined"
+        ),
+    ),
+    Knob(
+        name="REPRO_FAULT_BACKOFF",
+        kind="float",
+        default=0.0,
+        minimum=0.0,
+        default_label="0 (no wait)",
+        doc=(
+            "base re-capture backoff in seconds (doubles per attempt; "
+            "only waits when a sleep hook is installed — the simulated "
+            "bench never sleeps)"
+        ),
+    ),
+    Knob(
         name="REPRO_BATCHED_RENDER",
         kind="flag",
         default=True,

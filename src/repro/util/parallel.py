@@ -1,10 +1,23 @@
-"""Deterministic process-pool mapping with a serial fallback.
+"""Deterministic process-pool mapping that survives worker failure.
 
 The capture loops are embarrassingly parallel: every work item owns an
 independently derived sub-seed, so the result of an item never depends on
 which worker ran it or in what order.  :func:`parallel_map` exploits that —
 it always returns results in input order, which makes the parallel output
-bit-for-bit identical to the serial output for any worker count.
+bit-for-bit identical to the serial output for any worker count *and any
+failure pattern*:
+
+* a worker that raises or dies (``BrokenProcessPool``, a segfaulting
+  native library, an OOM kill) only loses its own in-flight items —
+  results already delivered by other workers are salvaged, and the lost
+  items are retried on a fresh pool (``REPRO_TASK_RETRIES`` rounds) and
+  finally re-executed serially, where a *deterministic* error reproduces
+  with an undecorated traceback;
+* a hung worker is bounded by ``REPRO_TASK_TIMEOUT`` (seconds without a
+  single item completing): the pool is torn down — lingering worker
+  processes are terminated, never leaked — completed results are kept,
+  and the unfinished items go through the same retry funnel;
+* unpicklable work degrades to the serial path as before.
 
 Worker-count resolution (:func:`resolve_n_jobs`):
 
@@ -12,9 +25,7 @@ Worker-count resolution (:func:`resolve_n_jobs`):
 2. the ``REPRO_N_JOBS`` environment variable;
 3. default 1 (serial — no surprise process pools).
 
-``n_jobs <= 0`` means "all cores".  Any failure to run the pool (fork
-restrictions, unpicklable callables, a broken worker) falls back to the
-serial path, so callers never need a code path per execution mode.
+``n_jobs <= 0`` means "all cores".
 """
 
 from __future__ import annotations
@@ -22,12 +33,21 @@ from __future__ import annotations
 import os
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-from .knobs import get_int
+from .knobs import get_float, get_int
 
-__all__ = ["effective_workers", "parallel_map", "resolve_n_jobs"]
+__all__ = [
+    "effective_workers",
+    "parallel_map",
+    "resolve_n_jobs",
+    "resolve_task_retries",
+    "resolve_task_timeout",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Placeholder for not-yet-computed results (``None`` is a valid result).
+_PENDING = object()
 
 
 def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
@@ -37,6 +57,25 @@ def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
     if n_jobs <= 0:
         return max(1, os.cpu_count() or 1)
     return int(n_jobs)
+
+
+def resolve_task_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Resolve the stall timeout (argument → ``REPRO_TASK_TIMEOUT`` → off).
+
+    The timeout bounds how long :func:`parallel_map` waits without *any*
+    pending item completing before it declares the pool stalled.  ``0``
+    (the default) disables the bound.
+    """
+    if timeout is None:
+        timeout = get_float("REPRO_TASK_TIMEOUT")
+    return None if timeout <= 0 else float(timeout)
+
+
+def resolve_task_retries(retries: Optional[int] = None) -> int:
+    """Resolve the pool retry budget (argument → ``REPRO_TASK_RETRIES``)."""
+    if retries is None:
+        retries = get_int("REPRO_TASK_RETRIES")
+    return max(0, int(retries))
 
 
 def effective_workers(
@@ -62,21 +101,107 @@ def _serial_map(fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
     return [fn(item) for item in items]
 
 
+def _terminate_pool(pool, stalled: bool) -> None:
+    """Shut a pool down without leaking processes.
+
+    A clean pool joins its workers; a stalled one cannot (a worker is
+    stuck executing), so its processes are terminated outright after the
+    executor is told to abandon queued work.
+    """
+    known = getattr(pool, "_processes", None)
+    processes = list(known.values()) if isinstance(known, dict) else []
+    pool.shutdown(wait=not stalled, cancel_futures=True)
+    if not stalled:
+        return
+    for process in processes:
+        try:
+            if process.is_alive():
+                process.terminate()
+        except Exception:  # replint: disable=REP007 -- teardown must not mask the original failure
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=5.0)
+        except Exception:  # replint: disable=REP007 -- teardown must not mask the original failure
+            pass
+
+
+def _pool_attempt(
+    fn: Callable[[_T], _R],
+    work: Sequence[_T],
+    results: List[object],
+    pending: Sequence[int],
+    n_jobs: int,
+    timeout: Optional[float],
+) -> List[int]:
+    """Run one pool round over ``pending`` items; return the survivors.
+
+    Results of completed items land in ``results``; indices whose item
+    raised, whose worker died, or that were still unfinished when the
+    pool stalled are returned for the caller to retry.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(n_jobs, len(pending)))
+    except Exception:
+        return list(pending)
+    stalled = False
+    failed: List[int] = []
+    waiting = set()
+    index_of = {}
+    try:
+        try:
+            for index in pending:
+                future = pool.submit(fn, work[index])
+                index_of[future] = index
+                waiting.add(future)
+        except Exception:
+            # Submission itself failed (pool already broken): everything
+            # not yet submitted is retried; whatever was submitted is
+            # drained below.
+            failed.extend(i for i in pending if i not in index_of.values())
+        while waiting:
+            done, waiting = wait(
+                waiting, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Nothing finished within the stall bound: declare the
+                # pool hung, keep what completed, retry the rest.
+                stalled = True
+                failed.extend(index_of[future] for future in waiting)
+                waiting = set()
+                break
+            for future in done:
+                index = index_of[future]
+                try:
+                    results[index] = future.result()
+                except Exception:
+                    failed.append(index)
+    finally:
+        _terminate_pool(pool, stalled)
+    return sorted(failed)
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     n_jobs: Optional[int] = None,
     min_items_per_worker: int = 1,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> List[_R]:
     """Map ``fn`` over ``items``, optionally on a process pool.
 
     Results always come back in input order.  ``fn`` and every item must
-    be picklable to actually run on the pool; anything that prevents the
-    pool from delivering (unpicklable work, fork restrictions, a killed
-    worker) silently degrades to the serial path.  Because work items are
-    pure functions of their own inputs, serial re-execution yields the
-    same values — and genuine errors raised by ``fn`` reproduce there,
-    now with an undecorated traceback.
+    be picklable to actually run on the pool; anything that prevents an
+    item from being delivered — unpicklable work, fork restrictions, a
+    killed or hung worker — is retried on a fresh pool up to ``retries``
+    times and then re-executed on the serial path.  Because work items
+    are pure functions of their own inputs, the final result is identical
+    for any worker count and any failure pattern, and a genuine error
+    raised by ``fn`` still surfaces (from the serial pass, with an
+    undecorated traceback).
 
     Args:
         fn: callable applied to each item (module-level for pool use).
@@ -86,6 +211,11 @@ def parallel_map(
             (possibly to serial) so each worker gets at least this many
             items (see :func:`effective_workers`).  Results are identical
             for any value; it only moves the serial/parallel cutover.
+        timeout: seconds without any item completing before the pool is
+            declared stalled and torn down (``None`` →
+            ``REPRO_TASK_TIMEOUT``; ``0`` disables).
+        retries: extra pool rounds for failed items before the serial
+            salvage pass (``None`` → ``REPRO_TASK_RETRIES``).
     """
     work = list(items)
     n_jobs = effective_workers(
@@ -93,10 +223,17 @@ def parallel_map(
     )
     if n_jobs <= 1 or len(work) <= 1:
         return _serial_map(fn, work)
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(work))) as pool:
-            return list(pool.map(fn, work))
-    except Exception:
-        return _serial_map(fn, work)
+    timeout = resolve_task_timeout(timeout)
+    results: List[object] = [_PENDING] * len(work)
+    pending: List[int] = list(range(len(work)))
+    for _ in range(1 + resolve_task_retries(retries)):
+        if not pending:
+            break
+        pending = _pool_attempt(fn, work, results, pending, n_jobs, timeout)
+    for index in pending:
+        # Serial salvage: pure items recompute to the same value; a
+        # deterministic error reproduces here, undecorated.  An item
+        # that genuinely hangs forever blocks here exactly as the serial
+        # path always would.
+        results[index] = fn(work[index])
+    return results  # type: ignore[return-value]

@@ -454,6 +454,119 @@ class TestRep006ImportLayering:
         assert codes(lint(tmp_path)) == []
 
 
+class TestRep007ExceptionHygiene:
+    def test_fires_on_bare_except(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/swallow.py",
+            '''
+            __all__ = ["read"]
+            def read(path):
+                try:
+                    return open(path).read()
+                except:
+                    return ""
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP007"]
+
+    def test_fires_on_silent_broad_swallow(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/swallow.py",
+            '''
+            __all__ = ["read"]
+            def read(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    pass
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP007"]
+
+    def test_fires_on_baseexception_in_tuple_with_continue(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/swallow.py",
+            '''
+            __all__ = ["drain"]
+            def drain(items):
+                out = []
+                for item in items:
+                    try:
+                        out.append(item())
+                    except (ValueError, BaseException):
+                        continue
+                return out
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP007"]
+
+    def test_quiet_on_specific_exception_swallow(self, tmp_path):
+        # Swallowing a *named* exception is a deliberate, reviewable
+        # decision; only the broad shapes are flagged.
+        write(
+            tmp_path,
+            "src/repro/power/fine.py",
+            '''
+            __all__ = ["read"]
+            def read(path):
+                try:
+                    return open(path).read()
+                except FileNotFoundError:
+                    pass
+                return ""
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_quiet_on_handled_broad_except(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/fine.py",
+            '''
+            __all__ = ["read"]
+            def read(path, log):
+                try:
+                    return open(path).read()
+                except Exception as error:
+                    log.append(error)
+                    raise
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_quiet_in_tests(self, tmp_path):
+        write(
+            tmp_path,
+            "tests/test_something.py",
+            '''
+            def test_x():
+                try:
+                    1 / 0
+                except:
+                    pass
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_waiver_comment_suppresses(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/teardown.py",
+            '''
+            __all__ = ["stop"]
+            def stop(worker):
+                try:
+                    worker.terminate()
+                except Exception:  # replint: disable=REP007 -- teardown must not mask the original failure
+                    pass
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+
 class TestSuppressions:
     def test_line_suppression_silences_one_code(self, tmp_path):
         write(
@@ -621,4 +734,5 @@ class TestRepoIsClean:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         }

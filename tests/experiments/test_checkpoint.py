@@ -1,0 +1,115 @@
+"""Crash-safe checkpoint store + runner resume semantics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import CheckpointStore, ablations, checkpoint_store
+from repro.experiments.checkpoint import _NullStore, _slug
+from repro.experiments.endtoend import stage_rng
+from repro.experiments.scales import SMOKE
+
+
+class TestCheckpointStore:
+    def test_stage_computes_once_then_loads(self, tmp_path):
+        store = CheckpointStore(tmp_path, experiment="t")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 42}
+
+        assert store.stage("alpha", compute) == {"value": 42}
+        assert store.stage("alpha", compute) == {"value": 42}
+        assert calls == [1]
+        assert store.has("alpha")
+
+    def test_save_load_roundtrip_numpy(self, tmp_path):
+        store = CheckpointStore(tmp_path, experiment="t")
+        payload = np.random.default_rng(0).normal(size=(4, 5))
+        store.save("arr", payload)
+        np.testing.assert_array_equal(store.load("arr"), payload)
+
+    def test_no_torn_files_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path, experiment="t")
+        store.save("x", list(range(1000)))
+        leftovers = [
+            p.name
+            for p in tmp_path.iterdir()
+            if p.suffix not in (".pkl", ".json")
+        ]
+        assert leftovers == []
+
+    def test_meta_fingerprint_mismatch_raises(self, tmp_path):
+        CheckpointStore(tmp_path, experiment="endtoend", scale="smoke")
+        # Same run, same params: fine.
+        CheckpointStore(tmp_path, experiment="endtoend", scale="smoke")
+        with pytest.raises(ValueError, match="different run"):
+            CheckpointStore(tmp_path, experiment="endtoend", scale="paper")
+
+    def test_clear_removes_stages_keeps_meta(self, tmp_path):
+        store = CheckpointStore(tmp_path, experiment="t")
+        store.save("a", 1)
+        store.clear()
+        assert not store.has("a")
+        # Fingerprint survives: a mismatched reopen still raises.
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, experiment="other")
+
+    def test_stage_names_are_slugged(self, tmp_path):
+        store = CheckpointStore(tmp_path, experiment="t")
+        store.save("fit G1/QDA auto:0.9", 7)
+        assert store.load("fit G1/QDA auto:0.9") == 7
+        assert _slug("a b/c") == "a-b-c"
+        with pytest.raises(ValueError):
+            _slug("///")
+
+    def test_null_store_when_disabled(self):
+        store = checkpoint_store(None)
+        assert isinstance(store, _NullStore)
+        assert not store.has("x")
+        assert store.stage("x", lambda: 3) == 3
+        assert store.save("x", 4) == 4
+        with pytest.raises(KeyError):
+            store.load("x")
+        store.clear()
+
+
+class TestStageRng:
+    def test_independent_per_stage(self):
+        a = stage_rng(7, "groups").normal(size=4)
+        b = stage_rng(7, "pooled").normal(size=4)
+        assert not np.allclose(a, b)
+
+    def test_deterministic_per_stage(self):
+        np.testing.assert_array_equal(
+            stage_rng(7, "groups").normal(size=4),
+            stage_rng(7, "groups").normal(size=4),
+        )
+
+
+TINY = SMOKE.with_overrides(
+    n_train_per_class=40, n_test_per_class=12, n_programs=2,
+    classes_per_group_cap=2,
+)
+
+
+class TestRunnerResume:
+    def test_interrupted_run_resumes_to_identical_table(self, tmp_path):
+        # Full run without checkpoints = ground truth.
+        expected = ablations.run_cwt_ablation(TINY)
+        # Checkpointed run, then simulate a crash by deleting the last
+        # stage: resume must replay the rest from disk and reproduce the
+        # table exactly.
+        ckpt = tmp_path / "cwt"
+        first = ablations.run_cwt_ablation(TINY, checkpoint_dir=ckpt)
+        assert first.rows == expected.rows
+        (ckpt / "fit-False.pkl").unlink()
+        resumed = ablations.run_cwt_ablation(TINY, checkpoint_dir=ckpt)
+        assert resumed.rows == expected.rows
+
+    def test_resume_with_other_scale_refuses(self, tmp_path):
+        ckpt = tmp_path / "cwt"
+        ablations.run_cwt_ablation(TINY, checkpoint_dir=ckpt)
+        other = TINY.with_overrides(name="tiny-2")
+        with pytest.raises(ValueError, match="different run"):
+            ablations.run_cwt_ablation(other, checkpoint_dir=ckpt)

@@ -41,3 +41,41 @@ class TestResultTable:
         table = ResultTable(title="T", columns=["a", "b"])
         table.add_row(a="x")
         assert "x" in table.render()
+
+
+class TestPersistence:
+    def make(self):
+        table = ResultTable(
+            title="Table X",
+            columns=["who", "sr"],
+            paper_reference={"who": "99 %"},
+            notes="tiny scale",
+        )
+        table.add_row(who="ours", sr=98.765)
+        table.add_row(who="flat", sr=91.0)
+        return table
+
+    def test_save_load_roundtrip(self, tmp_path):
+        table = self.make()
+        path = tmp_path / "out" / "table.json"
+        table.save(path)
+        loaded = ResultTable.load(path)
+        assert loaded.title == table.title
+        assert list(loaded.columns) == list(table.columns)
+        assert loaded.rows == table.rows
+        assert dict(loaded.paper_reference) == dict(table.paper_reference)
+        assert loaded.notes == table.notes
+        assert loaded.render() == table.render()
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "table.json"
+        self.make().save(path)
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "table.json"]
+        assert leftovers == []
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        payload = self.make().to_dict()
+        rebuilt = ResultTable.from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt.rows == self.make().rows

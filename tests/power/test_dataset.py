@@ -22,10 +22,54 @@ def make_set(n_per_class=10, n_classes=3, n_programs=2):
 
 class TestBasics:
     def test_lengths_validated(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="labels length mismatch"):
             TraceSet(np.zeros((3, 4)), np.zeros(2), ("a",), np.zeros(3))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="program_ids length mismatch"):
             TraceSet(np.zeros((3, 4)), np.zeros(3), ("a",), np.zeros(2))
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="2-D"):
+            TraceSet(np.zeros(12), np.zeros(12), ("a",), np.zeros(12))
+        with pytest.raises(ValueError, match="2-D"):
+            TraceSet(
+                np.zeros((3, 4, 5)), np.zeros(3), ("a",), np.zeros(3)
+            )
+
+    def test_nonfinite_traces_rejected(self):
+        traces = np.zeros((4, 6), dtype=np.float32)
+        traces[1, 2] = np.nan
+        traces[3, 0] = np.inf
+        with pytest.raises(ValueError, match=r"NaN/inf in 2 row"):
+            TraceSet(traces, np.zeros(4), ("a",), np.zeros(4))
+        # The message names the offending rows so the capture log can be
+        # cross-referenced.
+        with pytest.raises(ValueError, match=r"\[1, 3\]"):
+            TraceSet(traces, np.zeros(4), ("a",), np.zeros(4))
+
+    def test_meta_sample_count_checked(self):
+        with pytest.raises(ValueError, match="expected 9 samples"):
+            TraceSet(
+                np.zeros((3, 4)), np.zeros(3), ("a",), np.zeros(3),
+                meta={"n_samples": 9},
+            )
+        ts = TraceSet(
+            np.zeros((3, 4)), np.zeros(3), ("a",), np.zeros(3),
+            meta={"n_samples": 4},
+        )
+        assert ts.n_samples == 4
+
+    def test_screening_property(self):
+        ts = make_set()
+        assert ts.screening == {}
+        stats = {"ADD": {"n_captured": 10, "n_kept": 9}}
+        screened = TraceSet(
+            np.zeros((2, 4)), np.zeros(2), ("ADD",), np.zeros(2),
+            meta={"screening": stats},
+        )
+        assert screened.screening == stats
+        # Defensive copy: mutating the view must not touch the meta.
+        screened.screening.pop("ADD")
+        assert screened.screening == stats
 
     def test_properties(self):
         ts = make_set()

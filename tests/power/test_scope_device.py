@@ -55,6 +55,63 @@ class TestScope:
         assert scope.trigger_offset(np.random.default_rng(0)) == 0
 
 
+class TestScopeEdgeCases:
+    """Inputs at the edge of the measurement chain's envelope."""
+
+    def test_saturated_input_rails_cleanly(self):
+        # An input far beyond the window must rail at the ADC limits on
+        # both sides and never produce NaN/inf or overshoot.
+        scope = Oscilloscope(noise_sigma=0.0, full_scale=(-2.0, 2.0))
+        square = np.where(np.arange(2000) % 200 < 100, 50.0, -50.0)
+        out = scope.digitize(square)
+        assert np.isfinite(out).all()
+        assert out.max() <= 2.0 + 1e-6
+        assert out.min() >= -2.0 - 1e-6
+        # Both rails are actually reached.
+        assert np.isclose(out.max(), 2.0, atol=1e-5)
+        assert np.isclose(out.min(), -2.0, atol=1e-5)
+
+    def test_quantization_exact_at_full_scale_corners(self):
+        # The rails themselves must be representable codes: digitizing a
+        # constant at either limit reproduces it exactly.
+        scope = Oscilloscope(noise_sigma=0.0, adc_bits=8, full_scale=(-1.0, 3.0))
+        np.testing.assert_allclose(
+            scope.digitize(np.full(500, 3.0))[50:-50], 3.0, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            scope.digitize(np.full(500, -1.0))[50:-50], -1.0, atol=1e-6
+        )
+
+    def test_quantization_step_size_spans_window(self):
+        scope = Oscilloscope(noise_sigma=0.0, adc_bits=6, full_scale=(0.0, 63.0))
+        out = scope.digitize(np.linspace(0.0, 63.0, 4000))
+        levels = np.unique(np.round(out.astype(np.float64), 6))
+        assert len(levels) == 64
+        steps = np.diff(levels)
+        np.testing.assert_allclose(steps, steps[0], rtol=1e-5)
+
+    def test_zero_amplitude_trace_survives_chain(self):
+        # A dead-flat all-zeros trace: the filter/quantizer must return
+        # flat zeros, not ringing or NaN (guards the flatline detector's
+        # assumptions about what the clean chain can output).
+        scope = Oscilloscope(noise_sigma=0.0)
+        out = scope.digitize(np.zeros(1000))
+        assert np.isfinite(out).all()
+        # Flat in, flat out (one code), within half a quantization step
+        # of zero.
+        assert len(np.unique(out)) == 1
+        low, high = scope.full_scale
+        step = (high - low) / ((1 << scope.adc_bits) - 1)
+        np.testing.assert_allclose(out, 0.0, atol=step / 2 + 1e-9)
+        assert out.dtype == np.float32
+
+    def test_single_sample_window_screens_without_crash(self):
+        from repro.power import FaultContext, TraceScreener
+
+        report = TraceScreener().screen(np.zeros((3, 1)), FaultContext())
+        assert len(report.passed) == 3
+
+
 class TestShifts:
     def test_program_shift_gain_dc(self):
         shift = ProgramShift(dc_offset=2.0, gain=1.5)

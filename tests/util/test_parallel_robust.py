@@ -1,0 +1,134 @@
+"""parallel_map under worker failure: crash, hang, error propagation.
+
+The contract under test: results are bit-identical to the serial map for
+any worker count *and any failure pattern*, workers are never leaked,
+and a deterministic error still surfaces (from the serial salvage pass).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.util.parallel import (
+    parallel_map,
+    resolve_task_retries,
+    resolve_task_timeout,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _crash_once(arg):
+    """Kill the worker process hard the first time item 3 is attempted."""
+    index, marker_dir = arg
+    if index == 3:
+        marker = os.path.join(marker_dir, "crashed")
+        if not os.path.exists(marker):
+            open(marker, "w").close()
+            os._exit(1)
+    return index * 2
+
+
+def _hang_once(arg):
+    """Stall the pool the first time item 2 is attempted."""
+    index, marker_dir = arg
+    if index == 2:
+        marker = os.path.join(marker_dir, "hung")
+        if not os.path.exists(marker):
+            open(marker, "w").close()
+            time.sleep(60.0)
+    return index * 2
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("item three is broken")
+    return 2 * x
+
+
+class TestResolvers:
+    def test_timeout_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+        assert resolve_task_timeout(None) is None  # default: unbounded
+        assert resolve_task_timeout(0) is None
+        assert resolve_task_timeout(2.5) == 2.5
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "7")
+        assert resolve_task_timeout(None) == 7.0
+
+    def test_retries_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TASK_RETRIES", raising=False)
+        assert resolve_task_retries(None) >= 0
+        assert resolve_task_retries(3) == 3
+        assert resolve_task_retries(-2) == 0
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "4")
+        assert resolve_task_retries(None) == 4
+
+
+class TestWorkerCrash:
+    def test_killed_worker_items_are_salvaged(self, tmp_path):
+        # os._exit(1) breaks the whole pool; the retry round (the marker
+        # file makes the crash transient) must recover every item and
+        # the result must match the serial map exactly.
+        items = [(i, str(tmp_path)) for i in range(8)]
+        result = parallel_map(
+            _crash_once, items, n_jobs=2, timeout=0, retries=2
+        )
+        assert result == [2 * i for i in range(8)]
+        assert (tmp_path / "crashed").exists()  # the crash really happened
+
+    def test_persistent_crash_falls_back_to_serial(self, tmp_path):
+        # With zero retries the broken pool's items go straight to the
+        # serial salvage pass, where the (now-marked) item succeeds.
+        items = [(i, str(tmp_path)) for i in range(8)]
+        result = parallel_map(
+            _crash_once, items, n_jobs=2, timeout=0, retries=0
+        )
+        assert result == [2 * i for i in range(8)]
+
+    def test_deterministic_error_propagates(self):
+        # A genuine error in fn must raise, not vanish into a retry loop.
+        with pytest.raises(ValueError, match="item three"):
+            parallel_map(
+                _fail_on_three, range(8), n_jobs=2, timeout=0, retries=1
+            )
+
+
+class TestWorkerHang:
+    def test_stalled_pool_is_torn_down_and_items_retried(self, tmp_path):
+        items = [(i, str(tmp_path)) for i in range(8)]
+        started = time.monotonic()
+        result = parallel_map(
+            _hang_once, items, n_jobs=2, timeout=2.0, retries=1
+        )
+        elapsed = time.monotonic() - started
+        assert result == [2 * i for i in range(8)]
+        assert (tmp_path / "hung").exists()
+        # Far below the 60 s sleep: the hung worker was terminated, not
+        # joined, and the retry round ran the fast path.
+        assert elapsed < 30.0
+
+
+class TestDeterminism:
+    def test_failure_path_matches_serial(self, tmp_path):
+        items = [(i, str(tmp_path)) for i in range(8)]
+        crashed = parallel_map(
+            _crash_once, items, n_jobs=2, timeout=0, retries=1
+        )
+        serial = [_crash_once(item) for item in items]  # marker now set
+        assert crashed == serial
+
+    def test_numpy_payloads_bit_identical(self):
+        def reference(i):
+            return np.random.default_rng(i).normal(size=16)
+
+        pooled = parallel_map(_rng_payload, range(12), n_jobs=3)
+        for i, row in enumerate(pooled):
+            np.testing.assert_array_equal(row, reference(i))
+
+
+def _rng_payload(i):
+    return np.random.default_rng(i).normal(size=16)

@@ -1,0 +1,76 @@
+"""Observability-layer microbenchmarks: the cost of watching.
+
+Two numbers matter:
+
+* the **disabled** fast path — every instrumented call site pays one
+  ``span()`` / ``counter()`` invocation even when nobody asked for a
+  trace, so this must stay in the tens-of-nanoseconds range (the <2 %
+  end-to-end overhead gate in ``check_obs_overhead.py`` is derived from
+  it);
+* the **enabled** path — a real span append under the collector lock,
+  which bounds how densely the pipeline can afford to be instrumented
+  when tracing is on.
+"""
+
+import pytest
+
+from repro.obs.trace import Collector, activate, counter, deactivate, span
+
+_N = 10_000
+
+
+@pytest.fixture
+def clean_obs():
+    deactivate()
+    yield
+    deactivate()
+
+
+def test_span_disabled_throughput(benchmark, clean_obs):
+    """10k no-op span entries (the always-paid instrumentation cost)."""
+
+    def loop():
+        for _ in range(_N):
+            with span("bench.noop"):
+                pass
+
+    benchmark(loop)
+
+
+def test_counter_disabled_throughput(benchmark, clean_obs):
+    """10k no-op counter increments."""
+
+    def loop():
+        for _ in range(_N):
+            counter("bench.noop").inc()
+
+    benchmark(loop)
+
+
+def test_span_enabled_throughput(benchmark, clean_obs):
+    """10k recorded spans against a live collector."""
+
+    def loop():
+        collector = activate(Collector(max_spans=10 * _N))
+        for _ in range(_N):
+            with span("bench.recorded"):
+                pass
+        deactivate()
+        return collector
+
+    collector = benchmark(loop)
+    assert len(collector.spans) == _N
+
+
+def test_counter_enabled_throughput(benchmark, clean_obs):
+    """10k recorded counter increments against a live registry."""
+
+    def loop():
+        collector = activate(Collector())
+        for _ in range(_N):
+            counter("bench.recorded").inc()
+        deactivate()
+        return collector
+
+    collector = benchmark(loop)
+    assert collector.metrics.counter("bench.recorded").value == _N

@@ -1,0 +1,99 @@
+"""Gate the disabled-mode observability overhead at < 2 % of runtime.
+
+Usage::
+
+    python -m repro.experiments endtoend --scale smoke --trace /tmp/run.jsonl
+    python benchmarks/check_obs_overhead.py /tmp/run.jsonl
+
+The argument is a trace from an *enabled* run: it tells us how many
+span entries and how much wall time the instrumented workload has.  The
+script then measures, on the same machine and in the same process
+state, what one **disabled** ``span()`` call and one disabled counter
+access cost (the no-op fast path every call site always pays), and
+projects the total disabled-mode overhead::
+
+    overhead = n_spans * (noop_span_cost + noop_counter_cost)
+
+Exits non-zero when that projection exceeds ``--budget`` (default 2 %)
+of the traced run's wall time.  This is deliberately a *same-machine*
+comparison — an A/B of two full endtoend runs would be dominated by
+run-to-run noise at smoke scale, while the no-op cost is stable down to
+nanoseconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def _noop_costs_ns(rounds: int = 5, calls: int = 50_000) -> float:
+    """Best-of-N per-call cost (ns) of disabled span + counter access."""
+    from repro.obs.trace import counter, deactivate, span
+
+    deactivate()
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            with span("gate.noop"):
+                pass
+            counter("gate.noop").inc()
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed / calls * 1e9)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace from an enabled run")
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=2.0,
+        help="max disabled-mode overhead, percent of traced runtime",
+    )
+    args = parser.parse_args(argv)
+
+    meta = {}
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = json.loads(raw)
+            if line.get("type") == "meta":
+                meta = line
+                break
+    n_spans = int(meta.get("n_spans", 0))
+    duration_s = float(meta.get("duration_s", 0.0))
+    if n_spans <= 0 or duration_s <= 0:
+        sys.stderr.write(
+            f"ERROR: {args.trace} has no usable meta line "
+            f"(n_spans={n_spans}, duration_s={duration_s})\n"
+        )
+        return 1
+
+    per_call_ns = _noop_costs_ns()
+    overhead_s = n_spans * per_call_ns * 1e-9
+    percent = overhead_s / duration_s * 100.0
+    print(
+        f"disabled-mode no-op cost: {per_call_ns:.0f} ns/span-site; "
+        f"{n_spans} spans over {duration_s:.2f} s -> projected overhead "
+        f"{overhead_s * 1e3:.3f} ms ({percent:.4f} %)"
+    )
+    if percent > args.budget:
+        sys.stderr.write(
+            f"ERROR: projected disabled-mode overhead {percent:.3f} % "
+            f"exceeds the {args.budget} % budget\n"
+        )
+        return 1
+    print(f"OK: within the {args.budget} % budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

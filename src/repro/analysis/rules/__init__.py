@@ -1,4 +1,4 @@
-"""The replint rule set (REP001–REP007).
+"""The replint rule set (REP001–REP008).
 
 Importing this package populates :data:`repro.analysis.core.RULE_REGISTRY`;
 each module holds one rule so a rule's scope, heuristics, and rationale
@@ -18,6 +18,7 @@ from . import (
     knobs,
     layering,
     parity,
+    printing,
 )
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "knobs",
     "layering",
     "parity",
+    "printing",
 ]
 
 

@@ -34,6 +34,7 @@ from ..features.pipeline import FeatureConfig, FeaturePipeline
 from ..isa import REGISTRY, OperandKind
 from ..ml.base import Classifier
 from ..ml.discriminant import QDA
+from ..obs import trace as _obs
 from ..power.dataset import TraceSet
 from ..util.knobs import get_flag
 from .types import ABSTAIN_KEY, DisassembledInstruction
@@ -97,20 +98,25 @@ class LevelModel:
         classifier_factory: Callable[[], Classifier],
     ) -> "LevelModel":
         """Fit a level on a labelled trace set."""
-        pipeline = FeaturePipeline(feature_config)
-        features = pipeline.fit_transform(
-            trace_set.traces,
-            trace_set.labels,
-            trace_set.program_ids,
-            trace_set.label_names,
-        )
-        classifier = classifier_factory()
-        classifier.fit(features, trace_set.labels)
-        return cls(
-            pipeline=pipeline,
-            classifier=classifier,
-            label_names=trace_set.label_names,
-        )
+        with _obs.span(
+            "train.level",
+            n=len(trace_set.traces),
+            n_classes=len(trace_set.label_names),
+        ):
+            pipeline = FeaturePipeline(feature_config)
+            features = pipeline.fit_transform(
+                trace_set.traces,
+                trace_set.labels,
+                trace_set.program_ids,
+                trace_set.label_names,
+            )
+            classifier = classifier_factory()
+            classifier.fit(features, trace_set.labels)
+            return cls(
+                pipeline=pipeline,
+                classifier=classifier,
+                label_names=trace_set.label_names,
+            )
 
     def predict(
         self,
@@ -256,7 +262,8 @@ class SideChannelDisassembler:
         """Level-1 prediction: group number per window."""
         if self.group_model is None:
             raise RuntimeError("group level is not fitted")
-        codes = self.group_model.predict(windows, adapt=adapt)
+        with _obs.span("infer.groups", n=len(windows)):
+            codes = self.group_model.predict(windows, adapt=adapt)
         numbers = np.array(
             [int(name[1:]) for name in self.group_model.label_names]
         )
@@ -341,14 +348,15 @@ class SideChannelDisassembler:
         if groups is None:
             groups = self.predict_groups(windows, adapt=adapt)
         keys = np.empty(len(windows), dtype=object)
-        for group in np.unique(groups):
-            model = self.instruction_models.get(int(group))
-            rows = np.flatnonzero(groups == group)
-            if model is None:
-                # Group without a fitted level 2: report the group only.
-                keys[rows] = f"G{int(group)}?"
-                continue
-            keys[rows] = model.predict_keys(windows[rows], adapt=adapt)
+        with _obs.span("infer.instructions", n=len(windows)):
+            for group in np.unique(groups):
+                model = self.instruction_models.get(int(group))
+                rows = np.flatnonzero(groups == group)
+                if model is None:
+                    # Group without a fitted level 2: report the group only.
+                    keys[rows] = f"G{int(group)}?"
+                    continue
+                keys[rows] = model.predict_keys(windows[rows], adapt=adapt)
         return list(keys)
 
     def predict_instructions_reference(
@@ -411,50 +419,56 @@ class SideChannelDisassembler:
         """
         windows = np.asarray(windows)
         confidence: Optional[np.ndarray]
-        if abstain_threshold is None:
-            groups = self.predict_groups(windows, adapt=adapt)
-            keys = self.predict_instructions(windows, groups, adapt=adapt)
-            confidence = None
-        else:
-            groups, group_confidence = self.predict_groups_with_confidence(
-                windows, adapt=adapt
+        with _obs.span("infer.disassemble", n=len(windows)):
+            if abstain_threshold is None:
+                groups = self.predict_groups(windows, adapt=adapt)
+                keys = self.predict_instructions(windows, groups, adapt=adapt)
+                confidence = None
+            else:
+                groups, group_confidence = (
+                    self.predict_groups_with_confidence(windows, adapt=adapt)
+                )
+                keys, confidence = self.predict_instructions_with_confidence(
+                    windows, groups, group_confidence, adapt=adapt
+                )
+            rd = (
+                self.predict_register("Rd", windows, adapt=adapt)
+                if "Rd" in self.register_models
+                else [None] * len(windows)
             )
-            keys, confidence = self.predict_instructions_with_confidence(
-                windows, groups, group_confidence, adapt=adapt
+            rr = (
+                self.predict_register("Rr", windows, adapt=adapt)
+                if "Rr" in self.register_models
+                else [None] * len(windows)
             )
-        rd = (
-            self.predict_register("Rd", windows, adapt=adapt)
-            if "Rd" in self.register_models
-            else [None] * len(windows)
-        )
-        rr = (
-            self.predict_register("Rr", windows, adapt=adapt)
-            if "Rr" in self.register_models
-            else [None] * len(windows)
-        )
-        out: List[DisassembledInstruction] = []
-        for i, key in enumerate(keys):
-            conf = None if confidence is None else float(confidence[i])
-            if conf is not None and conf < abstain_threshold:
+            out: List[DisassembledInstruction] = []
+            for i, key in enumerate(keys):
+                conf = None if confidence is None else float(confidence[i])
+                if conf is not None and conf < abstain_threshold:
+                    out.append(
+                        DisassembledInstruction(
+                            key=ABSTAIN_KEY,
+                            group=int(groups[i]),
+                            confidence=conf,
+                        )
+                    )
+                    continue
+                want_rd, want_rr = _register_slots(key)
                 out.append(
                     DisassembledInstruction(
-                        key=ABSTAIN_KEY,
+                        key=key,
                         group=int(groups[i]),
+                        rd=int(rd[i]) if want_rd and rd[i] is not None else None,
+                        rr=int(rr[i]) if want_rr and rr[i] is not None else None,
                         confidence=conf,
                     )
                 )
-                continue
-            want_rd, want_rr = _register_slots(key)
-            out.append(
-                DisassembledInstruction(
-                    key=key,
-                    group=int(groups[i]),
-                    rd=int(rd[i]) if want_rd and rd[i] is not None else None,
-                    rr=int(rr[i]) if want_rr and rr[i] is not None else None,
-                    confidence=conf,
+            if _obs.enabled():
+                _obs.counter("hierarchy.windows").inc(len(out))
+                _obs.counter("hierarchy.abstained").inc(
+                    sum(1 for d in out if d.key == ABSTAIN_KEY)
                 )
-            )
-        return out
+            return out
 
     # -- persistence -----------------------------------------------------------
     def save(self, path) -> None:

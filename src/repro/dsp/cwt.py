@@ -62,6 +62,7 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from . import backend
+from ..obs import trace as _obs
 from ..util.knobs import get_float
 
 __all__ = [
@@ -351,14 +352,15 @@ class CWT:
             (n, self.config.n_scales, self.n_samples), dtype=np.float32
         )
         chunk = self._chunk_traces(max_mem_mb)
-        for start in range(0, n, chunk):
-            stop = min(start + chunk, n)
-            spectrum = self._forward(batch[start:stop], workers=workers)
-            view = out[start:stop]
-            for stage in self._fft_stages:
-                self._run_fft_stage(stage, spectrum, view, workers=workers)
-            for stage in self._gemm_stages:
-                self._run_gemm_stage(stage, spectrum, view)
+        with _obs.span("cwt.batch", n=n, n_scales=self.config.n_scales):
+            for start in range(0, n, chunk):
+                stop = min(start + chunk, n)
+                spectrum = self._forward(batch[start:stop], workers=workers)
+                view = out[start:stop]
+                for stage in self._fft_stages:
+                    self._run_fft_stage(stage, spectrum, view, workers=workers)
+                for stage in self._gemm_stages:
+                    self._run_gemm_stage(stage, spectrum, view)
         return out[0] if single else out
 
     def transform_reference(self, traces: np.ndarray) -> np.ndarray:
@@ -429,44 +431,45 @@ class CWT:
         out = np.empty((n, len(points)), dtype=np.float64)
         if not points:
             return out
-        columns_by_scale: dict = {}
-        for column, (j, k) in enumerate(points):
-            columns_by_scale.setdefault(int(j), []).append((column, int(k)))
-        spectrum = self._forward(batch, workers=workers)
-        gemm_by_index = {s.index: s for s in self._gemm_stages}
-        for stage in self._fft_stages:
-            wanted = [
-                (pos, j)
-                for pos, j in enumerate(stage.indices)
-                if j in columns_by_scale
-            ]
-            if not wanted:
-                continue
-            sub = _FftStage(
-                stage.n_fft,
-                np.arange(len(wanted)),
-                stage.response[[pos for pos, _ in wanted]],
-            )
-            values = np.empty(
-                (n, len(wanted), self.n_samples), dtype=np.float32
-            )
-            self._run_fft_stage(sub, spectrum, values, workers=workers)
-            for row, (_, j) in enumerate(wanted):
-                for column, k in columns_by_scale[j]:
-                    out[:, column] = values[:, row, k]
-        for j, wanted in columns_by_scale.items():
-            stage = gemm_by_index.get(j)
-            if stage is None:
-                continue
-            times = [k for (_, k) in wanted]
-            coeff = (
-                spectrum[:, stage.k_lo : stage.k_hi] @ stage.basis[:, times]
-            )
-            values = (
-                np.abs(coeff) if self.config.magnitude else coeff.real
-            )
-            for slot, (column, _) in enumerate(wanted):
-                out[:, column] = values[:, slot]
+        with _obs.span("cwt.points", n=n, n_points=len(points)):
+            columns_by_scale: dict = {}
+            for column, (j, k) in enumerate(points):
+                columns_by_scale.setdefault(int(j), []).append((column, int(k)))
+            spectrum = self._forward(batch, workers=workers)
+            gemm_by_index = {s.index: s for s in self._gemm_stages}
+            for stage in self._fft_stages:
+                wanted = [
+                    (pos, j)
+                    for pos, j in enumerate(stage.indices)
+                    if j in columns_by_scale
+                ]
+                if not wanted:
+                    continue
+                sub = _FftStage(
+                    stage.n_fft,
+                    np.arange(len(wanted)),
+                    stage.response[[pos for pos, _ in wanted]],
+                )
+                values = np.empty(
+                    (n, len(wanted), self.n_samples), dtype=np.float32
+                )
+                self._run_fft_stage(sub, spectrum, values, workers=workers)
+                for row, (_, j) in enumerate(wanted):
+                    for column, k in columns_by_scale[j]:
+                        out[:, column] = values[:, row, k]
+            for j, wanted in columns_by_scale.items():
+                stage = gemm_by_index.get(j)
+                if stage is None:
+                    continue
+                times = [k for (_, k) in wanted]
+                coeff = (
+                    spectrum[:, stage.k_lo : stage.k_hi] @ stage.basis[:, times]
+                )
+                values = (
+                    np.abs(coeff) if self.config.magnitude else coeff.real
+                )
+                for slot, (column, _) in enumerate(wanted):
+                    out[:, column] = values[:, slot]
         return out
 
     def flatten(self, images: np.ndarray) -> np.ndarray:
@@ -490,7 +493,18 @@ def get_cwt(n_samples: int, config: Optional[CwtConfig] = None) -> CWT:
     """
     if config is None:
         config = CwtConfig()
-    return _cached_operator(int(n_samples), config)
+    if not _obs.enabled():
+        return _cached_operator(int(n_samples), config)
+    before = _cached_operator.cache_info()
+    operator = _cached_operator(int(n_samples), config)
+    after = _cached_operator.cache_info()
+    if after.hits > before.hits:
+        _obs.counter("cwt.op_cache.hits").inc()
+    elif after.misses > before.misses:
+        _obs.counter("cwt.op_cache.misses").inc()
+        if before.currsize == before.maxsize:
+            _obs.counter("cwt.op_cache.evictions").inc()
+    return operator
 
 
 def clear_cwt_cache() -> None:

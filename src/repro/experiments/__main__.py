@@ -5,6 +5,13 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments table3 --scale bench
     python -m repro.experiments all --scale smoke
+    python -m repro.experiments endtoend --trace run.jsonl
+
+``--trace PATH`` activates the observability layer for the run (spans,
+metrics) and writes the JSONL trace to ``PATH`` on completion; inspect
+it with ``python -m repro.obs report PATH``.  Each runner's
+:class:`~repro.experiments.results.ResultTable` additionally carries the
+run's performance summary in ``meta["obs"]``.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ import inspect
 import sys
 import time
 
+from .. import obs
+from ..obs import log
 from . import (
     ablations,
     endtoend,
@@ -85,6 +94,18 @@ def _print_result(result) -> None:
     print(result)
 
 
+def _attach_obs_meta(result, summary) -> None:
+    """Stamp the obs summary into every ResultTable the runner produced."""
+    if isinstance(result, ResultTable):
+        result.meta["obs"] = summary
+    elif isinstance(result, tuple):
+        for value in result:
+            _attach_obs_meta(value, summary)
+    elif isinstance(result, dict):
+        for value in result.values():
+            _attach_obs_meta(value, summary)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -108,6 +129,14 @@ def main(argv=None) -> int:
         "honoured by runners that support it (endtoend, multisession, "
         "robustness, ablations); one subdirectory per experiment.",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="activate span tracing + metrics for the run (implies "
+        "REPRO_OBS=1) and write the JSONL trace here; render it with "
+        "'python -m repro.obs report PATH'",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -119,26 +148,39 @@ def main(argv=None) -> int:
     names = list(RUNNERS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in RUNNERS]
     if unknown:
-        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        log.error(f"unknown experiment(s): {unknown}; try 'list'")
         return 2
+    if args.trace is not None:
+        obs.activate()
     for name in names:
         runner, _ = RUNNERS[name]
         started = time.time()  # replint: disable=REP003 -- progress display
-        if name == "table2":
-            result = runner()
-        else:
-            kwargs = {}
-            if (
-                args.checkpoint_dir is not None
-                and "checkpoint_dir" in inspect.signature(runner).parameters
-            ):
-                # One subdirectory per experiment so 'all' runs don't
-                # collide on the meta fingerprint.
-                kwargs["checkpoint_dir"] = f"{args.checkpoint_dir}/{name}"
-            result = runner(args.scale, **kwargs)
+        with obs.span(f"experiment.{name}", scale=args.scale):
+            if name == "table2":
+                result = runner()
+            else:
+                kwargs = {}
+                if (
+                    args.checkpoint_dir is not None
+                    and "checkpoint_dir"
+                    in inspect.signature(runner).parameters
+                ):
+                    # One subdirectory per experiment so 'all' runs don't
+                    # collide on the meta fingerprint.
+                    kwargs["checkpoint_dir"] = f"{args.checkpoint_dir}/{name}"
+                result = runner(args.scale, **kwargs)
+        if obs.enabled():
+            _attach_obs_meta(result, obs.summarize(obs.active_collector()))
         _print_result(result)
         elapsed = time.time() - started  # replint: disable=REP003 -- progress display
-        print(f"[{name} completed in {elapsed:.1f} s]\n")
+        log.info(f"{name} completed in {elapsed:.1f} s")
+    summary = obs.maybe_export(args.trace)
+    if summary is not None and args.trace is not None:
+        log.info(
+            f"trace written to {args.trace} "
+            f"({summary['n_spans']} spans); render with "
+            f"'python -m repro.obs report {args.trace}'"
+        )
     return 0
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..baselines.flat import FlatDisassembler
 from ..core.hierarchy import SideChannelDisassembler
+from ..obs import log
 from ..dsp.cwt import get_cwt
 from ..features.pca import PCA
 from ..isa.groups import classification_classes
@@ -57,6 +58,7 @@ def run_cwt_ablation(scale="bench", checkpoint_dir=None) -> ResultTable:
         )
 
     train, test = store.stage("capture", capture_stage)
+    log.debug(f"ablation-cwt: captured {len(train.traces)} training traces")
     table = ResultTable(
         title="Ablation: CWT vs time-domain features (group-1, QDA)",
         columns=["features", "SR (%)", "n feature points"],
@@ -73,6 +75,7 @@ def run_cwt_ablation(scale="bench", checkpoint_dir=None) -> ResultTable:
             return model.score(test) * 100.0, model.pipeline.n_points
 
         sr, n_points = store.stage(f"fit-{use_cwt}", fit_stage)
+        log.debug(f"ablation-cwt: {label} -> SR {sr:.2f} %")
         table.add_row(
             features=label,
             **{"SR (%)": sr, "n feature points": n_points},
@@ -102,6 +105,9 @@ def run_selection_ablation(scale="bench", checkpoint_dir=None) -> ResultTable:
         )
 
     train, test = store.stage("capture", capture_stage)
+    log.debug(
+        f"ablation-selection: captured {len(train.traces)} training traces"
+    )
 
     table = ResultTable(
         title="Ablation: feature selection strategy (group-1, QDA)",
@@ -182,6 +188,9 @@ def run_hierarchy_ablation(scale="bench", checkpoint_dir=None) -> ResultTable:
         )
 
     train, test = store.stage("capture", capture_stage)
+    log.debug(
+        f"ablation-hierarchy: captured {len(train.traces)} training traces"
+    )
 
     table = ResultTable(
         title="Ablation: hierarchical vs flat classification (QDA)",

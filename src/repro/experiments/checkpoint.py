@@ -34,6 +34,7 @@ import re
 from pathlib import Path
 from typing import Callable, Dict, Optional, TypeVar, Union
 
+from ..obs import trace as _obs
 from ..util.io import atomic_write_bytes, atomic_write_json
 
 __all__ = ["CheckpointStore", "checkpoint_store"]
@@ -112,8 +113,12 @@ class CheckpointStore:
         replays completed stages from disk.
         """
         if self.has(name):
-            return self.load(name)
-        return self.save(name, compute())
+            _obs.counter("checkpoint.hits").inc()
+            with _obs.span(f"stage.{name}", cached=True):
+                return self.load(name)
+        _obs.counter("checkpoint.misses").inc()
+        with _obs.span(f"stage.{name}"):
+            return self.save(name, compute())
 
     def clear(self) -> None:
         """Delete every stage checkpoint (keeps the fingerprint)."""
@@ -134,7 +139,8 @@ class _NullStore:
         raise KeyError(f"no checkpoint for stage {name!r} (store disabled)")
 
     def stage(self, name: str, compute: Callable[[], _T]) -> _T:
-        return compute()
+        with _obs.span(f"stage.{name}"):
+            return compute()
 
     def clear(self) -> None:
         pass

@@ -29,6 +29,10 @@ class ResultTable:
         paper_reference: the values the paper reports, for side-by-side
             EXPERIMENTS.md entries.
         notes: free-form caveats (scale used, substitutions).
+        meta: machine-readable run annotations; the CLI stores the
+            observability summary under ``meta["obs"]`` when tracing is
+            active, so every saved result carries its own performance
+            fingerprint.
     """
 
     title: str
@@ -36,6 +40,7 @@ class ResultTable:
     rows: List[Dict[str, object]] = field(default_factory=list)
     paper_reference: Mapping[str, object] = field(default_factory=dict)
     notes: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
 
     def add_row(self, **cells) -> None:
         """Append one row (keyword per column)."""
@@ -78,13 +83,16 @@ class ResultTable:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (round-trips via :meth:`from_dict`)."""
-        return {
+        payload: Dict[str, object] = {
             "title": self.title,
             "columns": list(self.columns),
             "rows": [dict(row) for row in self.rows],
             "paper_reference": dict(self.paper_reference),
             "notes": self.notes,
         }
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "ResultTable":
@@ -95,6 +103,7 @@ class ResultTable:
             rows=[dict(r) for r in payload.get("rows", ())],  # type: ignore[union-attr]
             paper_reference=dict(payload.get("paper_reference", {})),  # type: ignore[arg-type]
             notes=str(payload.get("notes", "")),
+            meta=dict(payload.get("meta", {})),  # type: ignore[arg-type]
         )
 
     def save(self, path) -> None:

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..dsp.cwt import CWT, CwtConfig, get_cwt
+from ..obs import trace as _obs
 from ..util.knobs import get_int
 from .kl import WaveletStats
 from .pca import PCA
@@ -47,21 +48,24 @@ def compute_class_stats(
     labels = np.asarray(labels)
     program_ids = np.asarray(program_ids)
     stats: Dict[str, WaveletStats] = {}
-    for code, name in enumerate(label_names):
-        rows = np.flatnonzero(labels == code)
-        if len(rows) == 0:
-            raise ValueError(f"class {name!r} has no traces")
-        blocks = []
-        for start in range(0, len(rows), block_size):
-            chunk = np.asarray(traces)[rows[start:start + block_size]]
-            if cwt is not None:
-                blocks.append(cwt.transform(chunk))
-            else:
-                blocks.append(np.asarray(chunk, dtype=np.float32)[:, None, :])
-        images = np.concatenate(blocks)
-        stats[name] = WaveletStats.from_images(images, program_ids[rows])
-        if image_cache is not None:
-            image_cache[name] = ClassImages(rows=rows, images=images)
+    with _obs.span("kl.stats", n_classes=len(label_names)):
+        for code, name in enumerate(label_names):
+            rows = np.flatnonzero(labels == code)
+            if len(rows) == 0:
+                raise ValueError(f"class {name!r} has no traces")
+            blocks = []
+            for start in range(0, len(rows), block_size):
+                chunk = np.asarray(traces)[rows[start:start + block_size]]
+                if cwt is not None:
+                    blocks.append(cwt.transform(chunk))
+                else:
+                    blocks.append(
+                        np.asarray(chunk, dtype=np.float32)[:, None, :]
+                    )
+            images = np.concatenate(blocks)
+            stats[name] = WaveletStats.from_images(images, program_ids[rows])
+            if image_cache is not None:
+                image_cache[name] = ClassImages(rows=rows, images=images)
     return stats
 
 
@@ -255,37 +259,44 @@ class FeaturePipeline:
                 "feature selection needs at least two classes "
                 f"(got {list(label_names)!r})"
             )
-        traces = np.asarray(traces)
-        self._n_samples = traces.shape[1]
-        if self.config.use_cwt:
-            # Shared cached operator: every pipeline fitted on the same
-            # geometry reuses one set of precomputed response matrices.
-            self._cwt = get_cwt(self._n_samples, self.config.cwt)
-        image_cache = (
-            {} if self._image_cache_fits(traces) else None
-        )
-        stats = compute_class_stats(
-            traces,
-            labels,
-            program_ids,
-            label_names,
-            self._cwt if self.config.use_cwt else None,
-            self.config.block_size,
-            image_cache=image_cache,
-        )
-        self.selector = DnvpSelector(
-            kl_threshold=self.config.kl_threshold,
-            top_k=self.config.top_k,
-            n_jobs=self.config.n_jobs,
-        ).fit(stats)
-        self.points = self.selector.points
-        if image_cache is not None:
-            values = self._gather_point_values(image_cache, len(traces))
-        else:
-            values = self._point_values(traces)
-        values = self._normalize(values, fit=True)
-        self.pca = PCA(n_components=self.config.n_components).fit(values)
-        return values
+        with _obs.span(
+            "features.fit", n=len(traces), n_classes=len(label_names)
+        ):
+            traces = np.asarray(traces)
+            self._n_samples = traces.shape[1]
+            if self.config.use_cwt:
+                # Shared cached operator: every pipeline fitted on the same
+                # geometry reuses one set of precomputed response matrices.
+                self._cwt = get_cwt(self._n_samples, self.config.cwt)
+            image_cache = (
+                {} if self._image_cache_fits(traces) else None
+            )
+            stats = compute_class_stats(
+                traces,
+                labels,
+                program_ids,
+                label_names,
+                self._cwt if self.config.use_cwt else None,
+                self.config.block_size,
+                image_cache=image_cache,
+            )
+            with _obs.span("kl.select", n_classes=len(label_names)):
+                self.selector = DnvpSelector(
+                    kl_threshold=self.config.kl_threshold,
+                    top_k=self.config.top_k,
+                    n_jobs=self.config.n_jobs,
+                ).fit(stats)
+            self.points = self.selector.points
+            if image_cache is not None:
+                values = self._gather_point_values(image_cache, len(traces))
+            else:
+                values = self._point_values(traces)
+            values = self._normalize(values, fit=True)
+            with _obs.span("pca.fit", n_points=len(self.points)):
+                self.pca = PCA(n_components=self.config.n_components).fit(
+                    values
+                )
+            return values
 
     def _image_cache_fits(self, traces: np.ndarray) -> bool:
         """Whether keeping all training images in memory is worth it.
@@ -340,12 +351,13 @@ class FeaturePipeline:
                 f"expected {self._n_samples}-sample traces, "
                 f"got {traces.shape[1]}"
             )
-        values = self._point_values(traces)
-        values = self._normalize(values, fit=False, adapt=adapt)
-        projected = self.pca.transform(values)
-        if n_components is not None:
-            projected = projected[:, :n_components]
-        return projected
+        with _obs.span("features.transform", n=len(traces)):
+            values = self._point_values(traces)
+            values = self._normalize(values, fit=False, adapt=adapt)
+            projected = self.pca.transform(values)
+            if n_components is not None:
+                projected = projected[:, :n_components]
+            return projected
 
     @property
     def n_points(self) -> int:

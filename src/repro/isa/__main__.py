@@ -13,6 +13,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..obs import log
 from .assembler import assemble
 from .disasm import disassemble
 from .hexfile import bytes_from_words, parse_ihex, to_ihex, words_from_bytes
@@ -25,7 +26,8 @@ def _cmd_asm(args) -> int:
     hex_text = to_ihex(bytes_from_words(words))
     if args.output:
         Path(args.output).write_text(hex_text)
-        print(
+        # Status goes to stderr via the log helper; stdout carries data.
+        log.info(
             f"assembled {len(instructions)} instructions "
             f"({len(words)} words) -> {args.output}"
         )

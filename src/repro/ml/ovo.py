@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import trace as _obs
 from ..util.knobs import get_flag
 from ..util.parallel import parallel_map
 from .base import Classifier, check_Xy
@@ -100,21 +101,27 @@ class OneVsOneClassifier(Classifier):
         self.classes_ = np.unique(y)
         pairs = self._class_pairs()
         self.estimators_: Dict[Tuple[int, int], Classifier] = {}
-        if hasattr(self.base_estimator, "fit_from_stats"):
-            stats = ClassStats.from_Xy(X, y)
-            shared = (
-                self.base_estimator.prepare_stats_state(stats)
-                if hasattr(self.base_estimator, "prepare_stats_state")
-                else None
-            )
-            for a, b in pairs:
-                clone = self.base_estimator.clone()
-                clone.fit_from_stats(stats, (a, b), shared)
-                self.estimators_[(a, b)] = clone
-        else:
-            task = _PairFitTask(self.base_estimator, X, y, self.classes_, pairs)
-            fitted = parallel_map(task, range(len(pairs)), n_jobs=self.n_jobs)
-            self.estimators_ = dict(zip(pairs, fitted))
+        with _obs.span("train.ovo", n_pairs=len(pairs)):
+            if hasattr(self.base_estimator, "fit_from_stats"):
+                stats = ClassStats.from_Xy(X, y)
+                shared = (
+                    self.base_estimator.prepare_stats_state(stats)
+                    if hasattr(self.base_estimator, "prepare_stats_state")
+                    else None
+                )
+                for a, b in pairs:
+                    clone = self.base_estimator.clone()
+                    clone.fit_from_stats(stats, (a, b), shared)
+                    self.estimators_[(a, b)] = clone
+            else:
+                task = _PairFitTask(
+                    self.base_estimator, X, y, self.classes_, pairs
+                )
+                fitted = parallel_map(
+                    task, range(len(pairs)), n_jobs=self.n_jobs
+                )
+                self.estimators_ = dict(zip(pairs, fitted))
+            _obs.counter("ovo.pairs_fit").inc(len(pairs))
         return self
 
     def fit_reference(self, X: np.ndarray, y: np.ndarray) -> "OneVsOneClassifier":

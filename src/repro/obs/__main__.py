@@ -1,0 +1,61 @@
+"""CLI for the observability layer: ``python -m repro.obs report run.jsonl``.
+
+Subcommands:
+
+* ``report PATH`` — render the flame-style self/cumulative-time table
+  (``--json`` for the machine-readable aggregate);
+* ``report PATH --check`` — validate the trace file and exit 1 with the
+  problem list on stderr if it is malformed (CI uses this to gate the
+  endtoend smoke trace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .report import load, render_json, render_text, validate
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro observability traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="aggregate and render a JSONL trace")
+    report.add_argument("path", help="trace file written by --trace")
+    report.add_argument(
+        "--json", action="store_true", help="emit the aggregate as JSON"
+    )
+    report.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the trace and exit non-zero on problems",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        if args.check:
+            problems = validate(args.path)
+            if problems:
+                for problem in problems:
+                    sys.stderr.write(f"ERROR: {problem}\n")
+                return 1
+            sys.stderr.write(f"OK: {args.path} is a valid trace\n")
+            return 0
+        try:
+            parsed = load(args.path)
+        except (OSError, ValueError) as exc:
+            sys.stderr.write(f"ERROR: {exc}\n")
+            return 1
+        sys.stdout.write(render_json(parsed) if args.json else render_text(parsed))
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

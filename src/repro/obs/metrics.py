@@ -1,0 +1,229 @@
+"""Deterministic metrics primitives: counters, gauges, histograms.
+
+Subsystems publish operational numbers here — cache hits, screening
+quarantines, worker utilization, per-level inference timings — and sinks
+(:mod:`repro.obs.sinks`) export one snapshot per run.  Three design
+constraints shape the implementation:
+
+* **determinism** — histograms use *fixed* bucket edges declared at
+  creation (never data-derived), and :meth:`MetricsRegistry.snapshot`
+  emits metrics in sorted-name order, so two runs over the same workload
+  produce byte-identical metric output;
+* **mergeability** — capture work runs on worker processes; every
+  metric supports :meth:`merge` of a snapshot produced in another
+  process (:mod:`repro.util.parallel` ships them back with the results);
+* **cheapness** — a metric update is a dict lookup plus an integer add
+  under a lock; the expensive part (JSON rendering) happens once, at
+  export time.  When observability is disabled nothing in the package
+  calls into this module at all (see :mod:`repro.obs.trace`).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+]
+
+#: Default latency bucket edges (milliseconds), log-spaced 0.1 ms – 10 s.
+#: Fixed so histogram output is deterministic and comparable across runs.
+DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer (events, hits, misses)."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter increments must be >= 0, got {n}")
+        self.value += n
+
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot payload (JSON-ready)."""
+        return {"kind": self.kind, "value": self.value}
+
+    def merge(self, payload: Dict[str, object]) -> None:
+        """Fold another process's snapshot into this counter."""
+        self.value += int(payload["value"])  # type: ignore[arg-type]
+
+
+class Gauge:
+    """A last-write-wins float (utilization, queue depth, rates)."""
+
+    kind = "gauge"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot payload (JSON-ready)."""
+        return {"kind": self.kind, "value": self.value}
+
+    def merge(self, payload: Dict[str, object]) -> None:
+        """Fold another snapshot in (last writer wins, workers first)."""
+        self.value = float(payload["value"])  # type: ignore[arg-type]
+
+
+class Histogram:
+    """A fixed-edge histogram of observations (typically durations, ms).
+
+    ``edges`` must be declared at creation and never derive from the
+    data, so the bucket layout — and therefore the serialized output —
+    is identical for every run of the same code.  Observations equal to
+    an edge land in the bucket *below* it; ``counts`` has
+    ``len(edges) + 1`` slots, the last one catching the overflow tail.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("edges", "counts", "total", "count")
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_BUCKETS_MS) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError(f"bucket edges must be ascending, got {edges!r}")
+        self.edges: Tuple[float, ...] = tuple(float(e) for e in edges)
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot payload (JSON-ready)."""
+        return {
+            "kind": self.kind,
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": round(self.total, 6),
+            "count": self.count,
+        }
+
+    def merge(self, payload: Dict[str, object]) -> None:
+        """Fold another process's snapshot into this histogram."""
+        if list(payload["edges"]) != list(self.edges):  # type: ignore[arg-type]
+            raise ValueError(
+                f"histogram edge mismatch: {payload['edges']!r} != "
+                f"{list(self.edges)!r}"
+            )
+        for i, n in enumerate(payload["counts"]):  # type: ignore[arg-type]
+            self.counts[i] += int(n)
+        self.total += float(payload["total"])  # type: ignore[arg-type]
+        self.count += int(payload["count"])  # type: ignore[arg-type]
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Name → metric map with lazy creation and cross-process merge.
+
+    One registry lives on the active :class:`~repro.obs.trace.Collector`;
+    call sites reach it through the module-level helpers in
+    :mod:`repro.obs.trace` (``counter(name).inc()`` and friends), which
+    are no-ops while observability is disabled.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, name: str, kind: type, **kwargs) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(**kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a "
+                    f"{kind.__name__.lower()}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram named ``name`` (created on first use).
+
+        ``edges`` only matters at creation; a later call with different
+        edges raises, because silently re-bucketing would make the
+        output depend on call order.
+        """
+        metric = self._get(
+            name, Histogram, edges=edges if edges is not None else DEFAULT_BUCKETS_MS
+        )
+        if edges is not None and tuple(float(e) for e in edges) != metric.edges:  # type: ignore[union-attr]
+            raise ValueError(
+                f"histogram {name!r} already exists with edges "
+                f"{metric.edges!r}"  # type: ignore[union-attr]
+            )
+        return metric  # type: ignore[return-value]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic (sorted-name) JSON-ready snapshot of all metrics."""
+        with self._lock:
+            return {
+                name: self._metrics[name].as_dict()
+                for name in sorted(self._metrics)
+            }
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a snapshot from another registry (e.g. a worker) in."""
+        for name in sorted(snapshot):
+            payload = snapshot[name]
+            kind = _KINDS.get(str(payload.get("kind", "")))
+            if kind is None:
+                raise ValueError(
+                    f"metric {name!r} has unknown kind {payload.get('kind')!r}"
+                )
+            kwargs = (
+                {"edges": payload["edges"]} if kind is Histogram else {}
+            )
+            self._get(name, kind, **kwargs).merge(payload)

@@ -24,6 +24,7 @@ import numpy as np
 from ..isa import OperandKind, REGISTRY
 from ..isa.assembler import Instruction
 from ..isa.groups import classification_classes
+from ..obs import trace as _obs
 from ..sim.cpu import AvrCpu
 from ..sim.state import SRAM_START
 from ..util.knobs import get_flag, get_int
@@ -488,48 +489,51 @@ class Acquisition:
         — the mask lets callers subset per-window labels consistently;
         stats is ``None`` when both faults and screening are off.
         """
-        all_kept = np.ones(len(windows), dtype=bool)
-        injector, screener = self.faults, self.screener
-        if injector is None and screener is None:
-            return windows, all_kept, None
-        ctx = self._fault_context()
-        clean = windows
-        stats = ScreeningStats(n_captured=len(windows))
-        if injector is not None:
-            rng = self._rng("faults", label, "file", file_token, "attempt", 0)
-            current, applied = injector.corrupt(clean, rng, ctx)
-            stats.n_faulted = sum(1 for name in applied if name)
-        else:
-            current = clean.copy()
-        if screener is None:
-            stats.n_kept = len(current)
-            return current, all_kept, stats
-        report = screener.screen(current, ctx)
-        bad = ~report.passed
-        stats.n_flagged = int(bad.sum())
-        for code, count in report.counts().items():
-            stats.reasons[code] = stats.reasons.get(code, 0) + count
-        attempt = 0
-        while bad.any() and attempt < self.retry_policy.max_attempts:
-            attempt += 1
-            self.retry_policy.wait(attempt)
-            rows = np.flatnonzero(bad)
-            stats.n_retried += len(rows)
-            recapture = clean[rows]
+        with _obs.span("capture.screen", label=label, n=len(windows)):
+            all_kept = np.ones(len(windows), dtype=bool)
+            injector, screener = self.faults, self.screener
+            if injector is None and screener is None:
+                return windows, all_kept, None
+            ctx = self._fault_context()
+            clean = windows
+            stats = ScreeningStats(n_captured=len(windows))
             if injector is not None:
                 rng = self._rng(
-                    "faults", label, "file", file_token, "attempt", attempt
+                    "faults", label, "file", file_token, "attempt", 0
                 )
-                recapture, _ = injector.corrupt(recapture, rng, ctx)
-            current[rows] = recapture
-            # Re-screen the whole batch: the desync detector's median
-            # template sharpens as corrupt rows are replaced.
+                current, applied = injector.corrupt(clean, rng, ctx)
+                stats.n_faulted = sum(1 for name in applied if name)
+            else:
+                current = clean.copy()
+            if screener is None:
+                stats.n_kept = len(current)
+                return current, all_kept, stats
             report = screener.screen(current, ctx)
             bad = ~report.passed
-        stats.n_quarantined = int(bad.sum())
-        keep = ~bad
-        stats.n_kept = int(keep.sum())
-        return current[keep], keep, stats
+            stats.n_flagged = int(bad.sum())
+            for code, count in report.counts().items():
+                stats.reasons[code] = stats.reasons.get(code, 0) + count
+            attempt = 0
+            while bad.any() and attempt < self.retry_policy.max_attempts:
+                attempt += 1
+                self.retry_policy.wait(attempt)
+                rows = np.flatnonzero(bad)
+                stats.n_retried += len(rows)
+                recapture = clean[rows]
+                if injector is not None:
+                    rng = self._rng(
+                        "faults", label, "file", file_token, "attempt", attempt
+                    )
+                    recapture, _ = injector.corrupt(recapture, rng, ctx)
+                current[rows] = recapture
+                # Re-screen the whole batch: the desync detector's median
+                # template sharpens as corrupt rows are replaced.
+                report = screener.screen(current, ctx)
+                bad = ~report.passed
+            stats.n_quarantined = int(bad.sum())
+            keep = ~bad
+            stats.n_kept = int(keep.sum())
+            return current[keep], keep, stats
 
     def _record_stats(
         self, label: str, stats_list: Iterable[Optional[ScreeningStats]]
@@ -544,6 +548,13 @@ class Acquisition:
             merged.merge(stats)
         if merged is not None:
             self.screening_stats[label] = merged
+            if _obs.enabled():
+                _obs.counter("screen.captured").inc(merged.n_captured)
+                _obs.counter("screen.faulted").inc(merged.n_faulted)
+                _obs.counter("screen.flagged").inc(merged.n_flagged)
+                _obs.counter("screen.retried").inc(merged.n_retried)
+                _obs.counter("screen.quarantined").inc(merged.n_quarantined)
+                _obs.counter("screen.kept").inc(merged.n_kept)
         return merged
 
     def screening_report(self) -> Dict[str, Dict[str, object]]:
@@ -563,6 +574,20 @@ class Acquisition:
         count: int,
     ) -> Tuple[np.ndarray, Optional[ScreeningStats]]:
         """Capture one program file's windows (the per-file unit of work)."""
+        with _obs.span("capture.file", label=label, file=file_index, n=count):
+            return self._capture_class_file_inner(
+                class_key, label, fixed, target_sampler, file_index, count
+            )
+
+    def _capture_class_file_inner(
+        self,
+        class_key: str,
+        label: str,
+        fixed: Optional[Mapping[int, int]],
+        target_sampler,
+        file_index: int,
+        count: int,
+    ) -> Tuple[np.ndarray, Optional[ScreeningStats]]:
         rng = self._rng("class", label, "file", file_index)
         shift = ProgramShift.sample(rng) if self.program_shift else None
         instructions, targets = self._build_segments(
@@ -603,6 +628,24 @@ class Acquisition:
         Returns:
             ``(windows, program_ids)`` arrays.
         """
+        with _obs.span("capture.class", label=label_override or class_key,
+                       n_traces=n_traces):
+            return self._capture_class_inner(
+                class_key, n_traces, n_programs, fixed, label_override,
+                target_sampler, program_id_offset, n_jobs,
+            )
+
+    def _capture_class_inner(
+        self,
+        class_key: str,
+        n_traces: int,
+        n_programs: int,
+        fixed: Optional[Mapping[int, int]],
+        label_override: Optional[str],
+        target_sampler,
+        program_id_offset: int,
+        n_jobs: Optional[int],
+    ) -> Tuple[np.ndarray, np.ndarray]:
         per_file = [n_traces // n_programs] * n_programs
         for i in range(n_traces - sum(per_file)):
             per_file[i] += 1

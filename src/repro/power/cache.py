@@ -5,6 +5,12 @@ repeated experiment runs (e.g. iterating on classifier settings) can skip
 the capture step entirely.  The cache key must encode *everything* that
 influences the traces — the caller passes the relevant parameters and the
 cache hashes them together with the library version.
+
+Effectiveness is measurable: every instance keeps hit/miss/eviction
+counts in :attr:`TraceCache.stats`, mirrors them into the
+``trace_cache.*`` observability counters when tracing is active, and
+stamps each returned :class:`TraceSet` with
+``meta["trace_cache"] = {"hit": ...}``.
 """
 
 from __future__ import annotations
@@ -12,8 +18,9 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
+from ..obs import trace as _obs
 from .dataset import TraceSet
 
 __all__ = ["TraceCache"]
@@ -48,6 +55,7 @@ class TraceCache:
 
             version_salt = __version__
         self.version_salt = version_salt
+        self.stats: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
 
     def _path_for(self, key) -> Path:
         digest = _stable_hash({"salt": self.version_salt, "key": key})
@@ -59,10 +67,17 @@ class TraceCache:
         """Return the cached trace set for ``key``, capturing on a miss."""
         path = self._path_for(key)
         if path.exists():
-            return TraceSet.load(path)
+            self.stats["hits"] += 1
+            _obs.counter("trace_cache.hits").inc()
+            trace_set = TraceSet.load(path)
+            trace_set.meta["trace_cache"] = {"hit": True}
+            return trace_set
+        self.stats["misses"] += 1
+        _obs.counter("trace_cache.misses").inc()
         trace_set = capture()
         self.directory.mkdir(parents=True, exist_ok=True)
         trace_set.save(path)
+        trace_set.meta["trace_cache"] = {"hit": False}
         return trace_set
 
     def contains(self, key) -> bool:
@@ -77,4 +92,7 @@ class TraceCache:
         for path in self.directory.glob("*.npz"):
             path.unlink()
             removed += 1
+        self.stats["evictions"] += removed
+        if removed:
+            _obs.counter("trace_cache.evictions").inc(removed)
         return removed

@@ -255,6 +255,42 @@ KNOBS: Dict[str, Knob] = _declare(
             "fits)"
         ),
     ),
+    Knob(
+        name="REPRO_OBS",
+        kind="flag",
+        default=False,
+        alias="`repro.obs.activate`",
+        doc=(
+            "enable span tracing + metrics collection (`--trace PATH` on "
+            "experiment CLIs implies it; results unchanged)"
+        ),
+    ),
+    Knob(
+        name="REPRO_OBS_MEM",
+        kind="flag",
+        default=False,
+        doc=(
+            "also record per-span `tracemalloc` peak memory (slow; only "
+            "honoured while tracing is on)"
+        ),
+    ),
+    Knob(
+        name="REPRO_OBS_LOG_LEVEL",
+        kind="choice",
+        default="info",
+        choices=("debug", "info", "warning", "error", "off"),
+        doc="stderr log threshold for `repro.obs.log` status messages",
+    ),
+    Knob(
+        name="REPRO_OBS_MAX_SPANS",
+        kind="int",
+        default=100_000,
+        minimum=1,
+        doc=(
+            "span-buffer cap per run; spans beyond it are dropped and "
+            "counted in `obs.spans_dropped`"
+        ),
+    ),
     # Bench-harness knobs: declared for REP001's registry check but kept
     # out of the README tuning table (they scale benchmarks, not the
     # library).

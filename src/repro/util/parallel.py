@@ -31,8 +31,9 @@ Worker-count resolution (:func:`resolve_n_jobs`):
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
+from ..obs import trace as _obs
 from .knobs import get_float, get_int
 
 __all__ = [
@@ -224,16 +225,83 @@ def parallel_map(
     if n_jobs <= 1 or len(work) <= 1:
         return _serial_map(fn, work)
     timeout = resolve_task_timeout(timeout)
+    retries = resolve_task_retries(retries)
+    if not _obs.enabled():
+        results, _, _ = _pooled_map(fn, work, n_jobs, timeout, retries)
+        return results  # type: ignore[return-value]
+    return _observed_pooled_map(fn, work, n_jobs, timeout, retries)
+
+
+def _pooled_map(
+    fn: Callable[[_T], _R],
+    work: Sequence[_T],
+    n_jobs: int,
+    timeout: Optional[float],
+    retries: int,
+) -> Tuple[List[object], int, int]:
+    """Pool rounds + serial salvage over ``work``.
+
+    Returns ``(results, extra_rounds_used, n_salvaged)`` — the retry and
+    salvage counts feed the ``parallel.*`` metrics when observability is
+    on and are ignored otherwise.
+    """
     results: List[object] = [_PENDING] * len(work)
     pending: List[int] = list(range(len(work)))
-    for _ in range(1 + resolve_task_retries(retries)):
+    extra_rounds = 0
+    for attempt in range(1 + retries):
         if not pending:
             break
+        if attempt:
+            extra_rounds += 1
         pending = _pool_attempt(fn, work, results, pending, n_jobs, timeout)
+    n_salvaged = len(pending)
     for index in pending:
         # Serial salvage: pure items recompute to the same value; a
         # deterministic error reproduces here, undecorated.  An item
         # that genuinely hangs forever blocks here exactly as the serial
         # path always would.
         results[index] = fn(work[index])
-    return results  # type: ignore[return-value]
+    return results, extra_rounds, n_salvaged
+
+
+def _observed_pooled_map(
+    fn: Callable[[_T], _R],
+    work: Sequence[_T],
+    n_jobs: int,
+    timeout: Optional[float],
+    retries: int,
+) -> List[_R]:
+    """Pooled map with span/metric capture (observability active).
+
+    Wraps ``fn`` in a :class:`repro.obs.trace.WorkerTask` so spans and
+    metrics recorded on worker processes ship back with each result and
+    merge under the enclosing ``parallel.map`` span; publishes pool
+    health (items, retries, salvages, per-task latency, worker
+    utilization) into the ``parallel.*`` metrics.
+    """
+    task = _obs.WorkerTask(fn)
+    results: List[_R] = []
+    with _obs.span("parallel.map", n_jobs=n_jobs, n_items=len(work)):
+        t0 = _obs.now_ms()
+        wrapped, extra_rounds, n_salvaged = _pooled_map(
+            task, work, n_jobs, timeout, retries
+        )
+        region_ms = _obs.now_ms() - t0
+        busy_ms = 0.0
+        for value, payload in wrapped:  # type: ignore[misc]
+            if payload is not None:
+                hist = payload.get("metrics", {}).get("parallel.task_ms")
+                if hist:
+                    busy_ms += float(hist["total"])
+                _obs.merge_payload(payload)
+            results.append(value)
+    _obs.counter("parallel.items").inc(len(work))
+    if n_salvaged:
+        _obs.counter("parallel.items_salvaged").inc(n_salvaged)
+    if extra_rounds:
+        _obs.counter("parallel.pool_retries").inc(extra_rounds)
+    if region_ms > 0:
+        _obs.gauge("parallel.worker_utilization").set(
+            min(1.0, busy_ms / (n_jobs * region_ms))
+        )
+    return results

@@ -567,6 +567,70 @@ class TestRep007ExceptionHygiene:
         assert codes(lint(tmp_path)) == []
 
 
+class TestRep008Printing:
+    def test_fires_on_print_in_library(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/noisy.py",
+            '''
+            __all__ = ["capture"]
+            def capture(n):
+                print(f"capturing {n} traces")
+                return n
+            ''',
+        )
+        assert codes(lint(tmp_path)) == ["REP008"]
+
+    def test_quiet_in_entry_point_module(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/__main__.py",
+            '''
+            def main():
+                print("data row")
+                return 0
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_quiet_in_tests(self, tmp_path):
+        write(
+            tmp_path,
+            "tests/test_noise.py",
+            '''
+            def test_x():
+                print("debugging aid")
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_quiet_on_method_named_print(self, tmp_path):
+        # Only the builtin is flagged; an attribute call is some other
+        # object's API.
+        write(
+            tmp_path,
+            "src/repro/power/printer.py",
+            '''
+            __all__ = ["render"]
+            def render(device):
+                device.print("ok")
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_waiver_comment_suppresses(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/contract.py",
+            '''
+            __all__ = ["show"]
+            def show(table):
+                print(table)  # replint: disable=REP008 -- stdout is the contract
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+
 class TestSuppressions:
     def test_line_suppression_silences_one_code(self, tmp_path):
         write(
@@ -686,7 +750,10 @@ class TestRunnerAndCli:
     def test_cli_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        for code in (
+            "REP001", "REP002", "REP003", "REP004",
+            "REP005", "REP006", "REP007", "REP008",
+        ):
             assert code in out
 
     def test_check_docs_flags_drift(self, tmp_path, capsys):
@@ -735,4 +802,5 @@ class TestRepoIsClean:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
         }

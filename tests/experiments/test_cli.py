@@ -18,9 +18,11 @@ class TestCli:
 
     def test_table2_runs(self, capsys):
         assert main(["table2"]) == 0
-        out = capsys.readouterr().out
-        assert "Table 2" in out
-        assert "completed in" in out
+        captured = capsys.readouterr()
+        assert "Table 2" in captured.out
+        # Progress messages go through repro.obs.log to stderr: stdout
+        # stays reserved for result tables.
+        assert "completed in" in captured.err
 
     def test_runner_registry_complete(self):
         # every runner entry is callable with a scale (except table2)

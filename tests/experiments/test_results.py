@@ -79,3 +79,14 @@ class TestPersistence:
         payload = self.make().to_dict()
         rebuilt = ResultTable.from_dict(json.loads(json.dumps(payload)))
         assert rebuilt.rows == self.make().rows
+
+    def test_meta_roundtrip(self, tmp_path):
+        table = self.make()
+        table.meta["obs"] = {"n_spans": 12, "counters": {"x": 1}}
+        path = tmp_path / "table.json"
+        table.save(path)
+        loaded = ResultTable.load(path)
+        assert loaded.meta == {"obs": {"n_spans": 12, "counters": {"x": 1}}}
+
+    def test_empty_meta_omitted_from_payload(self):
+        assert "meta" not in self.make().to_dict()

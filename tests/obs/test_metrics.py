@@ -1,0 +1,135 @@
+"""Metrics primitives: deterministic bucketing, merge, registry checks."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter().inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter(), Counter()
+        a.inc(2)
+        b.inc(3)
+        a.merge(b.as_dict())
+        assert a.value == 5
+
+
+class TestGauge:
+    def test_set_last_write_wins(self):
+        g = Gauge()
+        g.set(1.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+    def test_merge_takes_incoming(self):
+        a, b = Gauge(), Gauge()
+        a.set(0.1)
+        b.set(0.9)
+        a.merge(b.as_dict())
+        assert a.value == 0.9
+
+
+class TestHistogram:
+    def test_deterministic_bucketing(self):
+        h = Histogram(edges=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 50.0, 500.0):
+            h.observe(value)
+        # Edge-equal observations land *below* the edge; one overflow.
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.total == pytest.approx(566.5)
+
+    def test_default_edges_are_fixed(self):
+        h = Histogram()
+        assert h.edges == DEFAULT_BUCKETS_MS
+        assert len(h.counts) == len(DEFAULT_BUCKETS_MS) + 1
+
+    def test_mean(self):
+        h = Histogram(edges=(1.0,))
+        assert h.mean == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == pytest.approx(3.0)
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(edges=(10.0, 1.0))
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(edges=())
+
+    def test_merge_sums_buckets(self):
+        a = Histogram(edges=(1.0, 10.0))
+        b = Histogram(edges=(1.0, 10.0))
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(50.0)
+        a.merge(b.as_dict())
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.total == pytest.approx(55.5)
+
+    def test_merge_edge_mismatch_raises(self):
+        a = Histogram(edges=(1.0,))
+        b = Histogram(edges=(2.0,))
+        with pytest.raises(ValueError, match="edge mismatch"):
+            a.merge(b.as_dict())
+
+
+class TestRegistry:
+    def test_lazy_creation_and_reuse(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="counter"):
+            reg.gauge("a")
+
+    def test_histogram_redeclare_with_other_edges_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", edges=(1.0, 2.0))
+        reg.histogram("lat")  # no edges: fine, reuses
+        with pytest.raises(ValueError, match="already exists"):
+            reg.histogram("lat", edges=(5.0,))
+
+    def test_snapshot_is_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta").inc()
+        reg.counter("alpha").inc()
+        assert list(reg.snapshot()) == ["alpha", "zeta"]
+
+    def test_merge_snapshot_roundtrip(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("hits").inc(7)
+        b.gauge("util").set(0.5)
+        b.histogram("lat", edges=(1.0,)).observe(0.5)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["hits"]["value"] == 7
+        assert snap["util"]["value"] == 0.5
+        assert snap["lat"]["counts"] == [1, 0]
+
+    def test_merge_snapshot_unknown_kind_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown kind"):
+            reg.merge_snapshot({"x": {"kind": "what", "value": 1}})

@@ -1,0 +1,215 @@
+"""Span tracer: nesting, self time, exceptions, no-op path, merging."""
+
+import threading
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    Collector,
+    activate,
+    active_collector,
+    counter,
+    deactivate,
+    enabled,
+    gauge,
+    histogram,
+    span,
+    traced,
+)
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not enabled()
+        assert active_collector() is None
+
+    def test_span_returns_shared_null_singleton(self):
+        first = span("a")
+        second = span("b", n=3)
+        assert first is second  # the shared no-op, no allocation per call
+
+    def test_null_span_is_a_context_manager(self):
+        with span("a") as s:
+            assert s is not None
+
+    def test_null_span_propagates_exceptions(self):
+        with pytest.raises(ValueError):
+            with span("a"):
+                raise ValueError("boom")
+
+    def test_metric_helpers_return_shared_noop(self):
+        assert counter("x") is gauge("y") is histogram("z")
+        counter("x").inc(5)
+        gauge("y").set(1.0)
+        histogram("z").observe(2.0)  # none of these raise or record
+
+    def test_env_knob_auto_activates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        trace.reset()
+        assert enabled()
+        assert active_collector() is not None
+
+
+class TestSpans:
+    def test_nested_paths(self):
+        collector = activate(Collector())
+        with span("outer"):
+            with span("inner"):
+                pass
+        paths = [s.path for s in collector.spans]
+        assert paths == ["outer/inner", "outer"]  # children close first
+
+    def test_self_time_excludes_children(self):
+        collector = activate(Collector())
+        with span("outer"):
+            with span("inner"):
+                pass
+        by_name = {s.name: s for s in collector.spans}
+        outer = by_name["outer"]
+        assert outer.self_ms <= outer.wall_ms
+        assert outer.self_ms == pytest.approx(
+            outer.wall_ms - by_name["inner"].wall_ms, abs=1e-6
+        )
+
+    def test_attrs_ride_along(self):
+        collector = activate(Collector())
+        with span("cwt.batch", n=128, n_scales=50):
+            pass
+        assert collector.spans[0].attrs == {"n": 128, "n_scales": 50}
+
+    def test_exception_recorded_and_propagated(self):
+        collector = activate(Collector())
+        with pytest.raises(KeyError):
+            with span("risky"):
+                raise KeyError("missing")
+        record = collector.spans[0]
+        assert record.error == "KeyError"
+        assert record.wall_ms >= 0.0
+
+    def test_sibling_spans_share_parent_path(self):
+        collector = activate(Collector())
+        with span("root"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        paths = sorted(s.path for s in collector.spans)
+        assert paths == ["root", "root/a", "root/b"]
+
+    def test_per_thread_stacks(self):
+        collector = activate(Collector())
+        done = threading.Event()
+
+        def worker():
+            with span("thread.child"):
+                pass
+            done.set()
+
+        with span("main.parent"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.is_set()
+        paths = {s.path for s in collector.spans}
+        # The other thread's span is a root: stacks are thread-local.
+        assert paths == {"main.parent", "thread.child"}
+
+    def test_max_spans_cap_counts_drops(self):
+        collector = activate(Collector(max_spans=2))
+        for i in range(5):
+            with span(f"s{i}"):
+                pass
+        assert len(collector.spans) == 2
+        assert collector.metrics.counter("obs.spans_dropped").value == 3
+
+    def test_traced_decorator(self):
+        collector = activate(Collector())
+
+        @traced("math.double", kind="test")
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+        assert collector.spans[0].name == "math.double"
+        assert collector.spans[0].attrs == {"kind": "test"}
+
+    def test_traced_checks_enablement_per_call(self):
+        @traced("late")
+        def fn():
+            return 1
+
+        fn()  # disabled: nothing recorded, nothing raised
+        collector = activate(Collector())
+        fn()
+        assert [s.name for s in collector.spans] == ["late"]
+
+
+class TestLifecycle:
+    def test_activate_deactivate_roundtrip(self):
+        collector = activate(Collector())
+        assert active_collector() is collector
+        assert deactivate() is collector
+        assert not enabled()
+
+    def test_activate_is_idempotent_on_existing_collector(self):
+        first = activate()
+        second = activate()
+        assert first is second
+
+    def test_metric_helpers_hit_active_registry(self):
+        collector = activate(Collector())
+        counter("cache.hits").inc(3)
+        gauge("util").set(0.5)
+        histogram("lat").observe(2.0)
+        snap = collector.metrics.snapshot()
+        assert snap["cache.hits"]["value"] == 3
+        assert snap["util"]["value"] == 0.5
+        assert snap["lat"]["count"] == 1
+
+
+class TestMerge:
+    def test_payload_roundtrip_reroots_under_open_span(self):
+        worker = Collector()
+        activate(worker)
+        with span("capture.file"):
+            pass
+        worker.metrics.counter("screen.captured").inc(4)
+        payload = worker.take_payload()
+        assert worker.spans == []  # drained
+
+        parent = activate(Collector())
+        with span("parallel.map"):
+            parent.merge(payload)
+        paths = {s.path for s in parent.spans}
+        assert "parallel.map/capture.file" in paths
+        assert parent.metrics.counter("screen.captured").value == 4
+
+    def test_merge_with_explicit_prefix(self):
+        worker = activate(Collector())
+        with span("leaf"):
+            pass
+        payload = worker.take_payload()
+        parent = activate(Collector())
+        parent.merge(payload, prefix="custom.root")
+        assert parent.spans[0].path == "custom.root/leaf"
+
+    def test_merge_at_root_keeps_paths(self):
+        worker = activate(Collector())
+        with span("leaf"):
+            pass
+        payload = worker.take_payload()
+        parent = activate(Collector())
+        parent.merge(payload)
+        assert parent.spans[0].path == "leaf"
+
+    def test_merge_respects_span_cap(self):
+        worker = activate(Collector())
+        for i in range(4):
+            with span(f"s{i}"):
+                pass
+        payload = worker.take_payload()
+        parent = activate(Collector(max_spans=2))
+        parent.merge(payload)
+        assert len(parent.spans) == 2
+        assert parent.metrics.counter("obs.spans_dropped").value == 2

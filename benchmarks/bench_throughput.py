@@ -41,6 +41,38 @@ def test_classify_batch_throughput(benchmark, fitted_level):
     assert len(result) == len(windows)
 
 
+def test_compiled_classify_throughput(benchmark, fitted_level):
+    """Folded-GEMM classify: trace→scores as two matrix products."""
+    model, test = fitted_level
+    windows = test.traces
+    compiled = model.compile()
+
+    result = benchmark(lambda: compiled.predict(windows))
+    assert len(result) == len(windows)
+
+
+def test_compiled_classify_reference_throughput(
+    benchmark, fitted_level, monkeypatch
+):
+    """Staged per-stage classify baseline (REPRO_COMPILED_INFER=0)."""
+    monkeypatch.setenv("REPRO_COMPILED_INFER", "0")
+    model, test = fitted_level
+    windows = test.traces
+
+    result = benchmark(lambda: model.predict(windows))
+    assert len(result) == len(windows)
+
+
+def test_single_trace_latency(benchmark, fitted_level):
+    """One-window classify latency (the streaming-disassembly budget)."""
+    model, test = fitted_level
+    window = test.traces[:1]
+    model.compile()
+
+    result = benchmark(lambda: model.predict(window))
+    assert len(result) == 1
+
+
 def test_cwt_full_plane_throughput(benchmark):
     """Full 50x315 CWT images per second (profiling-time cost)."""
     rng = np.random.default_rng(0)

@@ -24,12 +24,13 @@ parity testing and benchmarking (``REPRO_BATCHED_TRAIN=0`` selects it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..features.compiled import CompiledPipeline, CompileError
 from ..features.pipeline import FeatureConfig, FeaturePipeline
 from ..isa import REGISTRY, OperandKind
 from ..ml.base import Classifier
@@ -84,11 +85,62 @@ def _classifier_confidence(
 
 @dataclass
 class LevelModel:
-    """One fitted classification level: feature pipeline + classifier."""
+    """One fitted classification level: feature pipeline + classifier.
+
+    Inference routes through a :class:`CompiledPipeline` — the whole
+    trace→scores path folded into precomputed GEMMs — built lazily on
+    the first predict call (or eagerly via :meth:`compile`).  Classifier
+    templates without a discriminant fold (SVM, one-vs-one ensembles)
+    fall back to the staged pipeline transparently, as does
+    ``REPRO_COMPILED_INFER=0``.
+    """
 
     pipeline: FeaturePipeline
     classifier: Classifier
     label_names: Tuple[str, ...]
+    compiled: Optional[CompiledPipeline] = None
+    _compile_failed: bool = field(default=False, repr=False)
+
+    def compile(self, dtype="float32") -> CompiledPipeline:
+        """Fold this level into a :class:`CompiledPipeline` and keep it.
+
+        Raises:
+            CompileError: the classifier has no discriminant fold.
+        """
+        self.compiled = CompiledPipeline.build(
+            self.pipeline,
+            self.classifier,
+            self.label_names,
+            dtype=dtype,
+        )
+        self._compile_failed = False
+        return self.compiled
+
+    def _compiled_for(
+        self, n_components: Optional[int]
+    ) -> Optional[CompiledPipeline]:
+        """The compiled artifact, if usable for this call.
+
+        Builds lazily once; a failed build is remembered so unsupported
+        classifiers don't retry per batch.  Component-truncated calls
+        (the Fig. 5 sweep) stay on the staged path.
+        """
+        if not get_flag("REPRO_COMPILED_INFER"):
+            return None
+        if self.compiled is None and not self._compile_failed:
+            try:
+                self.compile()
+            except CompileError:
+                self._compile_failed = True
+        compiled = self.compiled
+        if compiled is None:
+            return None
+        if (
+            n_components is not None
+            and n_components != compiled.n_components
+        ):
+            return None
+        return compiled
 
     @classmethod
     def train(
@@ -125,6 +177,9 @@ class LevelModel:
         adapt: Optional[bool] = None,
     ) -> np.ndarray:
         """Predict integer codes for raw windows."""
+        compiled = self._compiled_for(n_components)
+        if compiled is not None:
+            return compiled.predict(windows, adapt=adapt)
         features = self.pipeline.transform(windows, n_components, adapt=adapt)
         return self.classifier.predict(features)
 
@@ -147,8 +202,13 @@ class LevelModel:
         when it exposes one (see :func:`_classifier_confidence`); a
         classifier with no usable score surface reports certainty, so
         confidence gating degrades to never abstaining rather than
-        abstaining on everything.
+        abstaining on everything.  The compiled path reports the softmax
+        posterior of its fused discriminant scores — the same quantity
+        the staged LDA/QDA/naive-Bayes ``predict_proba`` computes.
         """
+        compiled = self._compiled_for(n_components)
+        if compiled is not None:
+            return compiled.predict_with_confidence(windows, adapt=adapt)
         features = self.pipeline.transform(windows, n_components, adapt=adapt)
         codes = self.classifier.predict(features)
         return codes, _classifier_confidence(self.classifier, features, codes)
@@ -254,6 +314,33 @@ class SideChannelDisassembler:
         )
         self.register_models[role] = model
         return model
+
+    # -- compilation -----------------------------------------------------------
+    def compile(self, dtype="float32") -> Dict[str, bool]:
+        """Eagerly fold every fitted level into its compiled artifact.
+
+        Best-effort: levels whose classifier has no discriminant fold
+        (SVM, one-vs-one) keep the staged path.  Returns a map of level
+        name → whether it compiled, e.g. ``{"group": True, "I1": True,
+        "Rd": False}``.
+        """
+        outcomes: Dict[str, bool] = {}
+
+        def attempt(name: str, model: LevelModel) -> None:
+            try:
+                model.compile(dtype=dtype)
+                outcomes[name] = True
+            except CompileError:
+                model._compile_failed = True
+                outcomes[name] = False
+
+        if self.group_model is not None:
+            attempt("group", self.group_model)
+        for group, model in self.instruction_models.items():
+            attempt(f"I{group}", model)
+        for role, model in self.register_models.items():
+            attempt(role, model)
+        return outcomes
 
     # -- inference -----------------------------------------------------------
     def predict_groups(

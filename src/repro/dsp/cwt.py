@@ -201,7 +201,8 @@ class CWT:
         for n_fft, indices in sorted(by_nfft.items()):
             self._fft_stages.append(self._make_fft(n_fft, np.array(indices)))
 
-    def _make_fft(self, n_fft: int, indices: np.ndarray) -> _FftStage:
+    def _fft_response(self, n_fft: int, indices: np.ndarray) -> np.ndarray:
+        """Float64 half-spectrum response rows for scales on one grid."""
         half = n_fft // 2 + 1
         omega = 2.0 * np.pi * np.arange(half) / n_fft
         scales = self.config.scales[indices]
@@ -214,18 +215,26 @@ class CWT:
         response[:, -1] = 0.0
         # L2 normalization per scale; fold the 1/2 of Re W = irfft(R·X/2).
         response *= 0.5 * np.sqrt(scales)[:, None]
+        return response
+
+    def _make_fft(self, n_fft: int, indices: np.ndarray) -> _FftStage:
+        response = self._fft_response(n_fft, indices)
         return _FftStage(n_fft, indices, response.astype(self._real_dtype))
 
-    def _make_gemm(self, j: int, k_lo: int, k_hi: int) -> _GemmStage:
+    def _gemm_basis(self, j: int, k_lo: int, k_hi: int) -> np.ndarray:
+        """Float64 narrowband inverse basis for one scale's bin range."""
         scale = float(self.config.scales[j])
         k = np.arange(k_lo, k_hi)
         omega = 2.0 * np.pi * k / self.n_fft
         response = np.exp(-0.5 * (scale * omega - self.config.omega0) ** 2)
         response *= np.sqrt(scale) / self.n_fft
         m = np.arange(self.n_samples)
-        basis = response[:, None] * np.exp(
+        return response[:, None] * np.exp(
             (2j * np.pi / self.n_fft) * k[:, None] * m[None, :]
         )
+
+    def _make_gemm(self, j: int, k_lo: int, k_hi: int) -> _GemmStage:
+        basis = self._gemm_basis(j, k_lo, k_hi)
         return _GemmStage(j, k_lo, k_hi, basis.astype(self._cplx_dtype))
 
     def __reduce__(self):
@@ -450,8 +459,10 @@ class CWT:
                     np.arange(len(wanted)),
                     stage.response[[pos for pos, _ in wanted]],
                 )
+                # Working precision follows the operator so the double
+                # config really is a float64 reference end to end.
                 values = np.empty(
-                    (n, len(wanted), self.n_samples), dtype=np.float32
+                    (n, len(wanted), self.n_samples), dtype=self._real_dtype
                 )
                 self._run_fft_stage(sub, spectrum, values, workers=workers)
                 for row, (_, j) in enumerate(wanted):
@@ -471,6 +482,80 @@ class CWT:
                 for slot, (column, _) in enumerate(wanted):
                     out[:, column] = values[:, slot]
         return out
+
+    def point_operator(self, points) -> np.ndarray:
+        """Exact complex linear functionals of selected (scale, time) points.
+
+        The CWT coefficient at a fixed ``(scale_index, time_index)``
+        point is a *linear* functional of the trace, so a whole batch
+        evaluates as one complex GEMM:
+        ``transform_points(X, points)`` equals ``|X @ K|``
+        (``magnitude=True``) or ``(X @ K).real`` with
+        ``K = point_operator(points)``, up to the working precision of
+        the staged kernels.  This is what lets the feature pipeline fold
+        selected-point extraction, normalization and PCA into a single
+        precomputed matrix (see :mod:`repro.features.compiled`).
+
+        The columns are derived analytically, in float64, from the same
+        stage plan the staged kernels execute:
+
+        * FFT-stage scale on grid ``n``: ``W[k] = (2/n) Σ_b R[b] X̂[b]
+          e^{2πi b k / n}`` with ``X̂`` the decimated forward spectrum,
+          itself linear in the trace (``X̂[b] = Σ_m x[m] e^{-2πi b m/n}``);
+        * GEMM-stage scale: the forward bin restriction composed with the
+          narrowband inverse basis.
+
+        Args:
+            points: iterable of ``(scale_index, time_index)`` pairs.
+
+        Returns:
+            ``(n_samples, n_points)`` complex128 operator, column order
+            matching ``points``.
+        """
+        points = [(int(j), int(k)) for j, k in points]
+        operator = np.zeros(
+            (self.n_samples, len(points)), dtype=np.complex128
+        )
+        if not points:
+            return operator
+        columns_by_scale: dict = {}
+        for column, (j, k) in enumerate(points):
+            columns_by_scale.setdefault(j, []).append((column, k))
+        m = np.arange(self.n_samples)
+        gemm_by_index = {s.index: s for s in self._gemm_stages}
+        for stage in self._fft_stages:
+            wanted = [
+                (pos, int(j))
+                for pos, j in enumerate(stage.indices)
+                if int(j) in columns_by_scale
+            ]
+            if not wanted:
+                continue
+            n_fft = stage.n_fft
+            bins = np.arange(n_fft // 2 + 1)
+            response = self._fft_response(
+                n_fft, np.array([j for _, j in wanted])
+            )
+            # Trace -> decimated-spectrum factor e^{-2πi b m / n}.
+            forward = np.exp((-2j * np.pi / n_fft) * np.outer(m, bins))
+            for row, (_, j) in enumerate(wanted):
+                for column, k in columns_by_scale[j]:
+                    weights = (
+                        (2.0 / n_fft)
+                        * response[row]
+                        * np.exp((2j * np.pi / n_fft) * bins * k)
+                    )
+                    operator[:, column] = forward @ weights
+        for j, wanted in columns_by_scale.items():
+            stage = gemm_by_index.get(j)
+            if stage is None:
+                continue
+            basis = self._gemm_basis(j, stage.k_lo, stage.k_hi)
+            bins = np.arange(stage.k_lo, stage.k_hi)
+            forward = np.exp((-2j * np.pi / self.n_fft) * np.outer(m, bins))
+            for column, k in wanted:
+                operator[:, column] = forward @ basis[:, k]
+        return operator
 
     def flatten(self, images: np.ndarray) -> np.ndarray:
         """Flatten (n, scales, time) images to (n, scales*time) features."""

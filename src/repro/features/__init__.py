@@ -11,6 +11,7 @@ from .kl import (
     within_class_kl_batched,
     within_class_kl_reference,
 )
+from .compiled import CompiledPipeline, CompileError
 from .pca import PCA
 from .pipeline import FeatureConfig, FeaturePipeline
 from .snr import snr_field, snr_report
@@ -25,6 +26,8 @@ from .selection import (
 )
 
 __all__ = [
+    "CompileError",
+    "CompiledPipeline",
     "DnvpSelector",
     "FeatureConfig",
     "FeaturePipeline",

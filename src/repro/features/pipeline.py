@@ -15,7 +15,7 @@ import numpy as np
 
 from ..dsp.cwt import CWT, CwtConfig, get_cwt
 from ..obs import trace as _obs
-from ..util.knobs import get_int
+from ..util.knobs import get_flag, get_int
 from .kl import WaveletStats
 from .pca import PCA
 from .selection import DnvpSelector, Point
@@ -150,6 +150,14 @@ class FeaturePipeline:
         self._n_samples: Optional[int] = None
         self._feature_mean: Optional[np.ndarray] = None
         self._feature_std: Optional[np.ndarray] = None
+        self._point_gemm: Optional[np.ndarray] = None
+
+    def __getstate__(self):
+        # The folded point-operator cache is derived state: drop it from
+        # pickles (it rebuilds lazily) so artifacts stay small.
+        state = self.__dict__.copy()
+        state["_point_gemm"] = None
+        return state
 
     # -- internals -----------------------------------------------------------
     def _images(self, traces: np.ndarray) -> np.ndarray:
@@ -159,13 +167,59 @@ class FeaturePipeline:
             return self._cwt.transform(traces)
         return np.asarray(traces, dtype=np.float32)[:, None, :]
 
-    def _point_values(self, traces: np.ndarray) -> np.ndarray:
-        """Unified DNVP feature values for raw traces."""
+    def _point_values(
+        self, traces: np.ndarray, staged: bool = False
+    ) -> np.ndarray:
+        """Unified DNVP feature values for raw traces.
+
+        Inference-time calls (``staged=False``) route through a cached
+        folded point-operator GEMM — one matrix product against the
+        selected points' complex CWT functionals plus a modulus —
+        skipping all per-stage FFT/inverse machinery.  Fitting keeps the
+        staged path (``staged=True``) so the normalization statistics
+        and PCA basis are bit-identical to earlier releases; the
+        ``REPRO_COMPILED_INFER`` knob forces the staged path everywhere.
+        """
         if self.config.use_cwt:
             assert self._cwt is not None
+            if not staged and get_flag("REPRO_COMPILED_INFER"):
+                return self._folded_point_values(traces)
             return self._cwt.transform_points(traces, self.points)
         times = np.array([k for (_, k) in self.points])
         return np.asarray(traces, dtype=np.float64)[:, times]
+
+    def _folded_point_values(self, traces: np.ndarray) -> np.ndarray:
+        """Selected-point values via the precomputed linear operator.
+
+        Inputs are quantized to the transform's working precision first
+        (so the fold sees the same operand the staged path would) but
+        the stacked ``[Re K | Im K]`` GEMM itself runs in float64: a
+        float32 product is not row-deterministic across batch shapes
+        (BLAS blocking), and downstream tests hold single-trace and
+        batched transforms to ~1e-9 of each other.
+        """
+        assert self._cwt is not None
+        if self._point_gemm is None:
+            operator = self._cwt.point_operator(self.points)
+            if self.config.cwt.magnitude:
+                matrix = np.hstack([operator.real, operator.imag])
+            else:
+                matrix = operator.real
+            self._point_gemm = np.ascontiguousarray(matrix)
+        matrix = self._point_gemm
+        quantize_dtype = (
+            np.float32
+            if self.config.cwt.precision == "single"
+            else np.float64
+        )
+        batch = np.asarray(traces, dtype=quantize_dtype)
+        product = batch.astype(np.float64, copy=False) @ matrix
+        if not self.config.cwt.magnitude:
+            return product
+        n_points = len(self.points)
+        real = product[:, :n_points]
+        imag = product[:, n_points:]
+        return np.sqrt(real * real + imag * imag)
 
     def _normalize(
         self, values: np.ndarray, fit: bool, adapt: Optional[bool] = None
@@ -287,10 +341,11 @@ class FeaturePipeline:
                     n_jobs=self.config.n_jobs,
                 ).fit(stats)
             self.points = self.selector.points
+            self._point_gemm = None
             if image_cache is not None:
                 values = self._gather_point_values(image_cache, len(traces))
             else:
-                values = self._point_values(traces)
+                values = self._point_values(traces, staged=True)
             values = self._normalize(values, fit=True)
             with _obs.span("pca.fit", n_points=len(self.points)):
                 self.pca = PCA(n_components=self.config.n_components).fit(

@@ -238,6 +238,15 @@ KNOBS: Dict[str, Knob] = _declare(
         ),
     ),
     Knob(
+        name="REPRO_COMPILED_INFER",
+        kind="flag",
+        default=True,
+        doc=(
+            "set `0` to force staged (uncompiled) feature extraction and "
+            "classification instead of the folded-GEMM compiled path"
+        ),
+    ),
+    Knob(
         name="REPRO_KL_BLOCK_PAIRS",
         kind="int",
         default=128,

@@ -114,6 +114,36 @@ def test_transform_points_matches_full_plane():
         )
 
 
+class TestPointOperator:
+    """``point_operator``: selected points as one complex linear map."""
+
+    POINTS = [(0, 10), (2, 300), (10, 57), (30, 200), (49, 0), (30, 311)]
+
+    def test_matches_staged_points_double(self):
+        operator = CWT(315, CwtConfig(precision="double"))
+        traces = _traces(12, 315, seed=13)
+        matrix = operator.point_operator(self.POINTS)
+        assert matrix.shape == (315, len(self.POINTS))
+        assert matrix.dtype == np.complex128
+        folded = np.abs(traces @ matrix)
+        staged = operator.transform_points(traces, self.POINTS)
+        np.testing.assert_allclose(folded, staged, rtol=1e-10, atol=1e-12)
+
+    def test_matches_staged_points_single(self):
+        operator = CWT(315)
+        traces = _traces(12, 315, seed=17).astype(np.float32)
+        folded = np.abs(traces @ operator.point_operator(self.POINTS))
+        staged = operator.transform_points(traces, self.POINTS)
+        np.testing.assert_allclose(folded, staged, rtol=1e-4, atol=1e-5)
+
+    def test_real_part_matches_raw_coefficients(self):
+        operator = CWT(315, CwtConfig(magnitude=False, precision="double"))
+        traces = _traces(8, 315, seed=19)
+        folded = (traces @ operator.point_operator(self.POINTS)).real
+        staged = operator.transform_points(traces, self.POINTS)
+        np.testing.assert_allclose(folded, staged, rtol=1e-10, atol=1e-12)
+
+
 def test_operator_cache_identity():
     assert get_cwt(315) is get_cwt(315)
     assert get_cwt(315) is not get_cwt(128)

@@ -3,31 +3,58 @@
 PRs 1–2 made every hot path dual: a vectorized fast path shadowed by a
 serial ``*_reference``, gated by a ``REPRO_*`` knob, and parity-tested.
 Those invariants used to live in reviewers' heads; this package makes
-them machine-checked.  Six AST-based rules run over ``src`` and
-``tests`` (``python -m repro.analysis``), in CI, and must stay green:
+them machine-checked.  The engine is two-phase: per-file AST rules run
+on a worker pool (memoized by content fingerprint under
+``.replint-cache/``), then whole-program rules run against an assembled
+project model — module symbol tables, a resolved import graph, and a
+call/def index (see :mod:`repro.analysis.project`).  All rules run over
+``src``, ``tests``, and ``benchmarks`` (``python -m repro.analysis``),
+in CI, and must stay green:
 
-========  ==================  ==================================================
-Code      Name                Invariant
-========  ==================  ==================================================
-REP001    knob-registry       ``REPRO_*`` knobs declared in
-                              :mod:`repro.util.knobs`; ``os.environ`` only in
-                              :mod:`repro.util.env`
-REP002    parity              every public ``X``/``X_reference`` pair has a
-                              test module exercising both
-REP003    determinism         no global ``np.random``, wall-clock reads, or
-                              set-order iteration in library code
-REP004    accumulation-dtype  reductions in ``features/`` and
-                              ``ml/suffstats.py`` pin ``dtype=``
-REP005    export-hygiene      ``__all__`` present, sorted, resolvable
-REP006    import-layering     ``isa``/``sim``/``dsp`` never import
-                              ``experiments``
-========  ==================  ==================================================
+========  ===================  =================================================
+Code      Name                 Invariant
+========  ===================  =================================================
+REP001    knob-registry        ``REPRO_*`` knobs declared in
+                               :mod:`repro.util.knobs`; ``os.environ`` only in
+                               :mod:`repro.util.env`
+REP002    parity               every public ``X``/``X_reference`` pair has a
+                               test module exercising both
+REP003    determinism          no global ``np.random``, wall-clock reads, or
+                               set-order iteration in library code
+REP004    accumulation-dtype   reductions in ``features/`` and
+                               ``ml/suffstats.py`` pin ``dtype=``
+REP005    export-hygiene       ``__all__`` present, sorted, resolvable
+REP006    import-layering      ``isa``/``sim``/``dsp`` never import
+                               ``experiments``
+REP007    exception-hygiene    no bare/over-broad ``except`` in library code
+REP008    no-print             library code reports through ``repro.obs``,
+                               not ``print``
+REP009    dtype-flow           trace arrays entering the GEMM paths
+                               (``features.compiled``, ``dsp.cwt``) never
+                               convert without a pinned ``dtype=`` or f64
+                               accumulation (whole-program, import-graph
+                               scoped)
+REP010    parallel-safety      callables handed to ``parallel_map`` /
+                               ``WorkerTask`` are module-level picklable
+                               functions — no lambdas or closures, even
+                               imported cross-module
+REP011    span-coverage        public entry points in ``experiments``,
+                               ``power``, ``features`` that loop over traces
+                               carry an obs span (directly or via a callee)
+REP012    knob-liveness        every registered knob has a read site; every
+                               read resolves to a registration
+REP013    unused-suppression   a ``# replint: disable`` comment that silences
+                               nothing is itself reported
+========  ===================  =================================================
 
 Findings are suppressed inline with a justification::
 
     started = time.time()  # replint: disable=REP003 -- progress display
 
-See DESIGN.md §10 for the suppression policy.
+Accepted findings can also be ratcheted in a ``--baseline`` file, and
+PR CI lints only the changed files plus their reverse-import dependents
+(``--changed-since origin/main``).  See DESIGN.md §10 for the
+suppression policy and §14 for the project-model architecture.
 """
 
 from __future__ import annotations

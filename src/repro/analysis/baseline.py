@@ -1,0 +1,151 @@
+"""Baseline ratchet: land a new rule warn-only, burn findings down.
+
+A whole-program rule landing on a grown tree usually fires somewhere;
+requiring an instant fix for every site would block shipping the rule at
+all.  The baseline file records *accepted* findings — each with a
+required human justification — so the lint stays green while the debt
+is visible and monotonically shrinking:
+
+* a finding whose fingerprint is in the baseline is demoted to a
+  "baselined" note (reported, never failing);
+* a baseline entry that no longer matches anything is *stale* and
+  reported so the file ratchets down;
+* ``--update-baseline`` rewrites the file from the current findings,
+  preserving existing justifications and seeding new entries with a
+  TODO marker that review is expected to replace.
+
+Fingerprints hash ``path|code|message`` (not the line number), so
+unrelated edits that shift a finding a few lines do not churn the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "fingerprint"]
+
+_VERSION = 1
+_TODO = "TODO -- justify or fix"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable line-number-insensitive identity of a finding."""
+    key = f"{finding.path}|{finding.code}|{finding.message}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class BaselineEntry:
+    """One accepted finding plus the reason it is acceptable."""
+
+    fingerprint: str
+    code: str
+    path: str
+    message: str
+    justification: str = _TODO
+
+
+@dataclass
+class Baseline:
+    """In-memory view of a baseline file."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Parse a baseline file; raises ``ValueError`` on malformed
+        input (the CLI maps that to a usage error)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise ValueError(f"cannot read baseline {path!r}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed baseline {path!r}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise ValueError(f"baseline {path!r}: unsupported format")
+        entries = []
+        for raw in payload.get("entries", []):
+            entries.append(
+                BaselineEntry(
+                    fingerprint=str(raw.get("fingerprint", "")),
+                    code=str(raw.get("code", "")),
+                    path=str(raw.get("path", "")),
+                    message=str(raw.get("message", "")),
+                    justification=str(raw.get("justification", _TODO)),
+                )
+            )
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "code": entry.code,
+                    "path": entry.path,
+                    "message": entry.message,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.code, e.fingerprint)
+                )
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (active, baselined) and compute stale
+        entries.  Each baseline entry absorbs any number of findings
+        with its fingerprint (a rule may legitimately report the same
+        message for several lines of one file)."""
+        known = {entry.fingerprint for entry in self.entries}
+        active: List[Finding] = []
+        baselined: List[Finding] = []
+        matched: set = set()
+        for finding in findings:
+            fp = fingerprint(finding)
+            if fp in known:
+                matched.add(fp)
+                baselined.append(finding)
+            else:
+                active.append(finding)
+        stale = [
+            entry for entry in self.entries if entry.fingerprint not in matched
+        ]
+        return active, baselined, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], previous: Optional["Baseline"] = None
+    ) -> "Baseline":
+        """Build a baseline covering ``findings``, carrying over any
+        justification the previous baseline already had."""
+        carried: Dict[str, str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                carried[entry.fingerprint] = entry.justification
+        by_fp: Dict[str, BaselineEntry] = {}
+        for finding in findings:
+            fp = fingerprint(finding)
+            if fp not in by_fp:
+                by_fp[fp] = BaselineEntry(
+                    fingerprint=fp,
+                    code=finding.code,
+                    path=finding.path,
+                    message=finding.message,
+                    justification=carried.get(fp, _TODO),
+                )
+        return cls(entries=sorted(
+            by_fp.values(), key=lambda e: (e.path, e.code, e.fingerprint)
+        ))

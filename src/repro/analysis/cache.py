@@ -1,0 +1,161 @@
+"""Incremental scan cache for replint (``.replint-cache/``).
+
+Phase one of the engine — parse + per-file rules + project-model
+collection — dominates a full-tree run, and its output for a file is a
+pure function of (file content, analysis code).  The cache exploits
+that: every per-file scan blob is stored under a SHA-256 *content
+fingerprint*, keyed alongside a *rules signature* hashed over the
+``repro.analysis`` sources themselves, so editing any rule invalidates
+everything while editing one target file re-scans only that file.
+Phase two (cross-module rules) always re-runs — it is cheap and its
+inputs are exactly the cached blobs.
+
+Import-graph-aware invalidation lives one level up: ``--changed-since``
+expands the edited file set through the *reverse* import graph (an edit
+to ``repro.dsp.cwt`` re-reports every module that can reach it) before
+filtering findings — see :func:`repro.analysis.runner.run`.
+
+The cache file is a single pickle written atomically; any load problem
+(version skew, truncation, foreign pickle) silently degrades to a cold
+scan — the cache is an accelerator, never a correctness input.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import subprocess
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "ScanCache",
+    "changed_files",
+    "file_fingerprint",
+    "rules_signature",
+]
+
+_CACHE_FILE = "scan.pkl"
+_CACHE_VERSION = 1
+
+
+def file_fingerprint(path: str) -> Optional[str]:
+    """SHA-256 of a file's bytes; ``None`` when it cannot be read."""
+    try:
+        with open(path, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+    except OSError:
+        return None
+
+
+def rules_signature() -> str:
+    """Hash of every ``repro.analysis`` source file.
+
+    Any edit to the engine or a rule changes the signature and therefore
+    cold-starts the cache — per-file blobs embed rule findings and the
+    project-model schema, so they are only valid for the exact analysis
+    code that produced them.
+    """
+    root = os.path.dirname(os.path.abspath(__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(full, root).encode("utf-8"))
+            try:
+                with open(full, "rb") as handle:
+                    digest.update(handle.read())
+            except OSError:
+                digest.update(b"<unreadable>")
+    digest.update(str(_CACHE_VERSION).encode("ascii"))
+    return digest.hexdigest()
+
+
+class ScanCache:
+    """Content-addressed store of per-file scan blobs.
+
+    ``load`` returns ``{path: (fingerprint, blob)}`` for the given rules
+    signature (empty on any mismatch or error); ``store`` atomically
+    replaces the cache with the entries of the latest run.
+    """
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+        self.path = os.path.join(cache_dir, _CACHE_FILE)
+
+    def load(self, signature: str) -> Dict[str, tuple]:
+        try:
+            with open(self.path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        if payload.get("version") != _CACHE_VERSION:
+            return {}
+        if payload.get("signature") != signature:
+            return {}
+        entries = payload.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def store(self, signature: str, entries: Dict[str, tuple]) -> None:
+        payload = {
+            "version": _CACHE_VERSION,
+            "signature": signature,
+            "entries": entries,
+        }
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=_CACHE_FILE, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only checkout or full disk must not fail the lint.
+            return
+
+
+def changed_files(ref: str, cwd: Optional[str] = None) -> List[str]:
+    """Python files changed relative to ``ref`` (committed, staged,
+    unstaged, and untracked), as paths relative to ``cwd``.
+
+    Raises ``ValueError`` when git cannot resolve the ref — the CLI maps
+    that to a usage error (exit 2).
+    """
+    def _git(args: Sequence[str]) -> str:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise ValueError(
+                f"git {' '.join(args)} failed: {proc.stderr.strip()}"
+            )
+        return proc.stdout
+
+    seen = set()
+    out: List[str] = []
+    diff = _git(["diff", "--name-only", "--diff-filter=d", ref])
+    untracked = _git(["ls-files", "--others", "--exclude-standard"])
+    for line in (diff + untracked).splitlines():
+        line = line.strip()
+        if line.endswith(".py") and line not in seen:
+            seen.add(line)
+            out.append(line)
+    return sorted(out)

@@ -23,9 +23,23 @@ expected by review convention).
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .project import ProjectModel
 
 __all__ = [
     "FileContext",
@@ -81,16 +95,35 @@ class Suppressions:
         return codes is None or finding.code in codes  # type: ignore[operator]
 
 
-def parse_suppressions(source_lines: Sequence[str]) -> Suppressions:
-    """Extract ``# replint: disable[...]`` comments from physical lines.
+def _comment_lines(source_lines: Sequence[str]) -> Dict[int, str]:
+    """``{lineno: comment text}`` for every real COMMENT token.
 
-    This is a lexical scan, so a marker inside a string literal would
-    also count — acceptable for a self-hosted tool, and it keeps the
-    scanner independent of the tokenizer.
+    Tokenizing (rather than scanning physical lines) keeps suppression
+    markers inside string literals and docstrings inert — essential now
+    that REP013 reports *unused* suppressions: documentation that merely
+    mentions the syntax must not register as a stale waiver.  Falls back
+    to treating every line as a potential comment if tokenization fails
+    (it should not: files reach this point only after ``ast.parse``
+    succeeded).
     """
+    text = "\n".join(source_lines) + "\n"
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        return {
+            tok.start[0]: tok.string
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        }
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return dict(enumerate(source_lines, start=1))
+
+
+def parse_suppressions(source_lines: Sequence[str]) -> Suppressions:
+    """Extract ``# replint: disable[...]`` comments (real comments only;
+    markers inside string literals do not count)."""
     result = Suppressions()
     file_wide: set = set()
-    for lineno, text in enumerate(source_lines, start=1):
+    for lineno, text in sorted(_comment_lines(source_lines).items()):
         match = _SUPPRESS_RE.search(text)
         if match is None:
             continue
@@ -171,6 +204,12 @@ class Rule:
         self, facts: Sequence[Tuple[str, object]]
     ) -> List[Finding]:
         """Cross-file findings from every ``(path, fact)`` collected."""
+        return []
+
+    def check_project(self, project: "ProjectModel") -> List[Finding]:
+        """Whole-program findings against the assembled project model
+        (import graph, symbol tables, call/def index).  Runs once, in
+        the parent, after every file is scanned.  Default: none."""
         return []
 
     def finding(

@@ -1,8 +1,11 @@
-"""The replint rule set (REP001–REP008).
+"""The replint rule set (REP001–REP013).
 
 Importing this package populates :data:`repro.analysis.core.RULE_REGISTRY`;
 each module holds one rule so a rule's scope, heuristics, and rationale
-live next to its implementation.
+live next to its implementation.  REP001–REP008 are per-file / cross-file
+rules; REP009–REP012 are whole-program rules that run against the
+:class:`~repro.analysis.project.ProjectModel`; REP013 reports stale
+suppression comments (detected by the runner after every phase).
 """
 
 from __future__ import annotations
@@ -12,25 +15,35 @@ from typing import List
 from ..core import RULE_REGISTRY, Rule
 from . import (
     determinism,
+    dtype_flow,
     dtypes,
     exceptions,
     exports,
+    knob_liveness,
     knobs,
     layering,
+    parallel_safety,
     parity,
     printing,
+    span_coverage,
+    suppressions,
 )
 
 __all__ = [
     "all_rules",
     "determinism",
+    "dtype_flow",
     "dtypes",
     "exceptions",
     "exports",
+    "knob_liveness",
     "knobs",
     "layering",
+    "parallel_safety",
     "parity",
     "printing",
+    "span_coverage",
+    "suppressions",
 ]
 
 

@@ -1,0 +1,123 @@
+"""REP009 — dtype-flow: no silent downcast on the compiled GEMM paths.
+
+The compiled inference path (DESIGN.md §13) is numerically honest only
+because its dtype policy is explicit: the f32 fast path pins ``dtype=``
+at every conversion and is shadowed by an f64 twin, and folded
+point-GEMMs accumulate in f64.  A ``np.asarray(traces)`` with no
+``dtype=`` anywhere upstream of those GEMMs silently inherits whatever
+the caller happened to hold — exactly the kind of drift the parity
+suites cannot localize.
+
+This is a *whole-program* rule: the modules whose trace arrays reach a
+GEMM are found through the project model, not a path list.
+
+* **Sink modules**: :mod:`repro.features.compiled` and
+  :mod:`repro.dsp.cwt` (the two GEMM kernels).
+* **On-path modules**: the sinks, every library module that imports a
+  sink directly or transitively, and — via the call/def index — every
+  library module defining a function that an on-path module calls
+  (helper modules whose outputs flow into the GEMM without importing
+  it themselves; this is the cross-module case).
+* **Violation**: inside an on-path module, a NumPy conversion
+  (``np.asarray``/``np.array``/``np.ascontiguousarray``) of a
+  trace-named argument with no ``dtype=`` keyword, unless the enclosing
+  function pins a float64 accumulation elsewhere (``dtype=np.float64``
+  on any call), which makes the fast-path downcast harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import Finding, Rule, register_rule
+from ..project import TRACE_NAME, FunctionInfo, ModuleInfo, ProjectModel
+
+__all__ = ["DtypeFlowRule"]
+
+#: The GEMM kernels every trace array ultimately reaches.
+_SINKS = ("repro.dsp.cwt", "repro.features.compiled")
+
+#: NumPy entry points that re-type an array without announcing it.
+_CONVERTERS = frozenset({"asarray", "array", "ascontiguousarray", "asfarray"})
+
+
+def _on_path_modules(project: ProjectModel) -> Dict[str, str]:
+    """``{module: reason}`` for every module on a GEMM path."""
+    present = [sink for sink in _SINKS if sink in project.by_module]
+    reasons: Dict[str, str] = {sink: "is a GEMM kernel" for sink in present}
+    for module, via in project.transitive_importers(present).items():
+        if module not in reasons and project.by_module[module].in_library:
+            reasons[module] = f"imports {via}"
+    # Call/def hop to fixpoint: helpers *called from* on-path modules
+    # are on the path too — their return values feed the GEMM.
+    frontier = sorted(reasons)
+    while frontier:
+        nxt: List[str] = []
+        for module in frontier:
+            info = project.by_module[module]
+            for fn, call in info.all_calls():
+                canonical = project.resolve_call(module, call.name)
+                if canonical is None:
+                    continue
+                target_module = canonical.rpartition(".")[0]
+                if (
+                    target_module
+                    and target_module not in reasons
+                    and target_module in project.by_module
+                    and project.by_module[target_module].in_library
+                ):
+                    reasons[target_module] = f"called from {module}"
+                    nxt.append(target_module)
+        frontier = nxt
+    return reasons
+
+
+def _pins_f64(fn: Optional[FunctionInfo], info: ModuleInfo) -> bool:
+    """True when the enclosing scope accumulates in float64 somewhere."""
+    calls = fn.calls if fn is not None else info.toplevel_calls
+    return any("float64" in call.dtype_repr for call in calls)
+
+
+@register_rule
+class DtypeFlowRule(Rule):
+    code = "REP009"
+    name = "dtype-flow"
+    description = (
+        "trace arrays entering the compiled GEMM paths (features.compiled, "
+        "dsp.cwt, and their import/call closure) must pin dtype= or "
+        "accumulate in float64"
+    )
+
+    def check_project(self, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        reasons = _on_path_modules(project)
+        for module in sorted(reasons):
+            info = project.by_module[module]
+            if info.is_test or info.is_entry:
+                continue
+            for fn, call in info.all_calls():
+                head, _, tail = call.name.rpartition(".")
+                if head not in ("np", "numpy") or tail not in _CONVERTERS:
+                    continue
+                if call.arg0_kind != "name" or not TRACE_NAME.match(
+                    call.arg0_name
+                ):
+                    continue
+                if "dtype" in call.kwargs:
+                    continue
+                if _pins_f64(fn, info):
+                    continue
+                findings.append(
+                    Finding(
+                        path=info.path,
+                        line=call.line,
+                        col=call.col,
+                        code=self.code,
+                        message=(
+                            f"{call.name}({call.arg0_name}) without dtype= on "
+                            f"a GEMM path ({module} {reasons[module]}); pin "
+                            "the dtype or accumulate in float64"
+                        ),
+                    )
+                )
+        return findings

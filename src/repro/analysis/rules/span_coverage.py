@@ -1,0 +1,175 @@
+"""REP011 — span-coverage: trace-loop entry points carry an obs span.
+
+PR 5's observability layer only pays off if the hot loops actually
+record spans — an uninstrumented capture or inference loop is a blind
+spot exactly where the run report matters most.  The invariant: a
+*public entry point* (module-level, non-underscore function) in the
+``experiments``, ``power``, or ``features`` packages whose work loops
+over traces must be covered by a span, directly or through a callee.
+
+Coverage is resolved through the call/def index, not text matching:
+
+* the entry point itself contains ``with span(...)`` (any import
+  spelling — ``_obs.span``, ``span`` — is canonicalized to
+  :func:`repro.obs.trace.span`) or is decorated ``@traced``;
+* or a function it calls — resolved cross-module through import
+  bindings, two hops deep — is covered; this keeps thin public wrappers
+  quiet when the instrumented loop lives in a helper;
+* conversely a *violation* can hide cross-module: a public entry point
+  whose trace loop lives in a private helper in another module fires
+  here, even though neither file is individually suspicious.
+
+A deliberate opt-out is an inline suppression with a justification
+(``# replint: disable=REP011 -- <why>`` on the ``def`` line).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..core import Finding, Rule, register_rule
+from ..project import FunctionInfo, ProjectModel
+
+__all__ = ["SpanCoverageRule"]
+
+#: Packages whose public surface must be observable.
+_SCOPED = ("repro.experiments", "repro.features", "repro.power")
+
+#: How many call hops to search for a covering span / a hidden loop.
+_MAX_DEPTH = 2
+
+
+def _in_scope(module: str) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".") for pkg in _SCOPED
+    )
+
+
+def _is_span(project: ProjectModel, module: str, name: str) -> bool:
+    canonical = project.resolve_call(module, name)
+    if canonical is None:
+        return False
+    return canonical.startswith("repro.obs") and canonical.endswith(".span")
+
+
+def _is_traced(project: ProjectModel, module: str, name: str) -> bool:
+    canonical = project.resolve_call(module, name)
+    if canonical is None:
+        return False
+    return canonical.startswith("repro.obs") and canonical.endswith(".traced")
+
+
+class _Walker:
+    """Shared memoized walk over the call/def index."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+
+    def covered(
+        self, module: str, fn: FunctionInfo, depth: int,
+        seen: Optional[Set[Tuple[str, str]]] = None,
+    ) -> bool:
+        """True when ``fn`` records a span itself or via a callee."""
+        seen = seen if seen is not None else set()
+        key = (module, fn.qualname)
+        if key in seen:
+            return False
+        seen.add(key)
+        if any(_is_span(self.project, module, n) for n in fn.with_calls):
+            return True
+        if any(_is_traced(self.project, module, n) for n in fn.decorators):
+            return True
+        if depth <= 0:
+            return False
+        for callee_module, callee in self._callees(module, fn):
+            if self.covered(callee_module, callee, depth - 1, seen):
+                return True
+        return False
+
+    def loops(
+        self, module: str, fn: FunctionInfo, depth: int,
+        seen: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Optional[str]:
+        """Where the trace loop is (``"here"`` or ``"in <module.fn>"``),
+        or ``None`` when neither ``fn`` nor its callees loop."""
+        seen = seen if seen is not None else set()
+        key = (module, fn.qualname)
+        if key in seen:
+            return None
+        seen.add(key)
+        if fn.trace_loops:
+            return "here"
+        if depth <= 0:
+            return None
+        for callee_module, callee in self._callees(module, fn):
+            hit = self.loops(callee_module, callee, depth - 1, seen)
+            if hit is not None:
+                return f"in {callee_module}.{callee.name}"
+        return None
+
+    def _callees(self, module: str, fn: FunctionInfo):
+        for call in fn.calls:
+            head = call.name.partition(".")[0]
+            resolved = self.project.function(module, head)
+            if resolved is not None and "." not in call.name:
+                yield resolved
+                continue
+            # ``mod.helper(...)`` attribute calls on imported modules.
+            if "." in call.name:
+                prefix, _, attr = call.name.rpartition(".")
+                binding = self.project.binding_for(module, prefix)
+                if binding is None:
+                    continue
+                target = self.project.binding_module(binding)
+                info = self.project.by_module.get(target)
+                if info is None:
+                    continue
+                callee = info.functions.get(attr)
+                if callee is not None and not callee.is_method:
+                    yield target, callee
+
+
+@register_rule
+class SpanCoverageRule(Rule):
+    code = "REP011"
+    name = "span-coverage"
+    description = (
+        "public entry points in experiments/, power/, features/ that loop "
+        "over traces must carry an obs span (directly or via a callee)"
+    )
+
+    def check_project(self, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        walker = _Walker(project)
+        for module in sorted(project.by_module):
+            info = project.by_module[module]
+            if not _in_scope(module) or info.is_test or info.is_entry:
+                continue
+            for qualname in sorted(info.functions):
+                fn = info.functions[qualname]
+                if fn.is_method or fn.is_nested or not fn.is_public:
+                    continue
+                where = walker.loops(module, fn, _MAX_DEPTH)
+                if where is None:
+                    continue
+                if walker.covered(module, fn, _MAX_DEPTH):
+                    continue
+                loop_at = (
+                    "loops over traces"
+                    if where == "here"
+                    else f"loops over traces {where}"
+                )
+                findings.append(
+                    Finding(
+                        path=info.path,
+                        line=fn.line,
+                        col=fn.col,
+                        code=self.code,
+                        message=(
+                            f"public entry point {fn.name}() {loop_at} "
+                            "without an obs span; wrap the loop in "
+                            "repro.obs.span() or justify a suppression"
+                        ),
+                    )
+                )
+        return findings

@@ -33,6 +33,13 @@ path to ≤1e-4 of the staged default.  Instances hold nothing but plain
 arrays and metadata, so they pickle directly into model artifacts
 (:meth:`repro.core.hierarchy.SideChannelDisassembler.save`) and a
 future serving layer can load them without the training stack.
+
+The dtype policy above is machine-checked: ``REP009`` in
+:mod:`repro.analysis` walks the import/call closure of this module and
+:mod:`repro.dsp.cwt` and flags any trace-array conversion on that path
+that neither pins ``dtype=`` nor sits next to a float64 accumulation —
+a silent downcast upstream of the GEMMs is exactly the drift the parity
+suite cannot localize.
 """
 
 from __future__ import annotations
@@ -473,7 +480,7 @@ class CompiledPipeline:
         likelihood for GaussianNB.
         """
         with _obs.span("compiled.classify", n=int(np.atleast_2d(
-            np.asarray(traces)
+            np.asarray(traces)  # replint: disable=REP009 -- shape probe only; values enter the GEMM via transform(), which pins the dtype
         ).shape[0])):
             return self._head.scores(self.transform(traces, adapt=adapt))
 

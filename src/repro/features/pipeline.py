@@ -55,7 +55,7 @@ def compute_class_stats(
                 raise ValueError(f"class {name!r} has no traces")
             blocks = []
             for start in range(0, len(rows), block_size):
-                chunk = np.asarray(traces)[rows[start:start + block_size]]
+                chunk = np.asarray(traces)[rows[start:start + block_size]]  # replint: disable=REP009 -- row gather only; both sinks re-pin (cwt.transform casts to its real dtype, the else-branch pins float32)
                 if cwt is not None:
                     blocks.append(cwt.transform(chunk))
                 else:
@@ -316,7 +316,7 @@ class FeaturePipeline:
         with _obs.span(
             "features.fit", n=len(traces), n_classes=len(label_names)
         ):
-            traces = np.asarray(traces)
+            traces = np.asarray(traces)  # replint: disable=REP009 -- shape/indexing view; every downstream sink (cwt.transform*, float32 fallback) pins its own dtype at entry
             self._n_samples = traces.shape[1]
             if self.config.use_cwt:
                 # Shared cached operator: every pipeline fitted on the same
@@ -400,7 +400,7 @@ class FeaturePipeline:
         """
         if self.pca is None or self._n_samples is None:
             raise RuntimeError("pipeline is not fitted")
-        traces = np.asarray(traces)
+        traces = np.asarray(traces)  # replint: disable=REP009 -- shape validation view; _point_values feeds cwt.transform_points, which pins the dtype at its boundary
         if traces.shape[1] != self._n_samples:
             raise ValueError(
                 f"expected {self._n_samples}-sample traces, "

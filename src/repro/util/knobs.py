@@ -17,7 +17,12 @@ Invariants (machine-checked by ``REP001`` in :mod:`repro.analysis`):
   exempt);
 * the README knob table is generated from this registry
   (``python -m repro.analysis --fix-docs``) and CI fails when it drifts
-  (``--check-docs``).
+  (``--check-docs``);
+* liveness, both ways (``REP012``, whole-program): every knob declared
+  here has at least one read site somewhere in ``src``/``tests``/
+  ``benchmarks``, and every read resolves to a declaration — dead knobs
+  and phantom reads are findings.  A knob read only outside those roots
+  needs an inline waiver on its declaration.
 
 Adding a knob is therefore one :class:`Knob` entry plus a call site —
 the docs and the linter pick it up automatically.

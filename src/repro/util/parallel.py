@@ -204,6 +204,13 @@ def parallel_map(
     raised by ``fn`` still surfaces (from the serial pass, with an
     undecorated traceback).
 
+    Library callers must pass a module-level function or a picklable
+    task instance — never a lambda or closure, which pickle by qualified
+    name and silently force the serial path.  This is machine-checked
+    whole-program by ``REP010`` in :mod:`repro.analysis` (the rule
+    resolves the callable through the import graph, so a lambda imported
+    from another module is caught at the submission site).
+
     Args:
         fn: callable applied to each item (module-level for pool use).
         items: work items; consumed eagerly.

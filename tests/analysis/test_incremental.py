@@ -1,0 +1,224 @@
+"""Incremental-driver tests: cache reuse, invalidation, warm-run speed,
+and the ``--changed-since`` import-graph filter."""
+
+import pickle
+import subprocess
+import time
+from pathlib import Path
+
+from repro.analysis import run
+from repro.analysis.cache import ScanCache, changed_files, rules_signature
+
+from .test_replint import write
+
+MODULE_BODY = '''
+import numpy as np
+
+__all__ = ["centroid_{i}", "spread_{i}", "window_{i}"]
+
+
+def centroid_{i}(values):
+    return np.sum(values, axis=0, dtype=np.float64) / len(values)
+
+
+def spread_{i}(values):
+    deltas = values - centroid_{i}(values)
+    return np.sum(deltas * deltas, axis=0, dtype=np.float64)
+
+
+def window_{i}(values, lo, hi):
+    out = []
+    for row in values:
+        out.append(row[lo:hi])
+    return out
+'''
+
+
+def make_tree(tmp_path: Path, n_files: int) -> Path:
+    for i in range(n_files):
+        write(tmp_path, f"src/repro/ml/mod_{i:03d}.py", MODULE_BODY.format(i=i))
+    return tmp_path
+
+
+class TestCacheReuse:
+    def test_second_run_is_fully_cached_and_identical(self, tmp_path):
+        make_tree(tmp_path, 8)
+        cache_dir = str(tmp_path / ".replint-cache")
+        cold = run([str(tmp_path)], n_jobs=1, cache_dir=cache_dir)
+        warm = run([str(tmp_path)], n_jobs=1, cache_dir=cache_dir)
+        assert cold.n_cached == 0
+        assert warm.n_cached == warm.n_files == cold.n_files
+        assert warm.findings == cold.findings
+
+    def test_single_edit_rescans_only_that_file(self, tmp_path):
+        make_tree(tmp_path, 8)
+        cache_dir = str(tmp_path / ".replint-cache")
+        run([str(tmp_path)], n_jobs=1, cache_dir=cache_dir)
+        target = tmp_path / "src/repro/ml/mod_003.py"
+        target.write_text(
+            MODULE_BODY.format(i=3) + "\n\ndef extra_3():\n    print('x')\n",
+            encoding="utf-8",
+        )
+        result = run([str(tmp_path)], n_jobs=1, cache_dir=cache_dir)
+        assert result.n_cached == result.n_files - 1
+        # The edit's new finding is visible — cached blobs never mask
+        # fresh content.
+        assert [f.code for f in result.findings] == ["REP008"]
+        assert all(f.path.endswith("mod_003.py") for f in result.findings)
+
+    def test_corrupt_cache_degrades_to_cold_scan(self, tmp_path):
+        make_tree(tmp_path, 4)
+        cache_dir = tmp_path / ".replint-cache"
+        clean = run([str(tmp_path)], n_jobs=1, cache_dir=str(cache_dir))
+        (cache_dir / "scan.pkl").write_bytes(b"not a pickle")
+        result = run([str(tmp_path)], n_jobs=1, cache_dir=str(cache_dir))
+        assert result.n_cached == 0
+        assert result.findings == clean.findings
+
+    def test_rules_signature_keys_the_cache(self, tmp_path):
+        make_tree(tmp_path, 4)
+        cache_dir = tmp_path / ".replint-cache"
+        run([str(tmp_path)], n_jobs=1, cache_dir=str(cache_dir))
+        # Rewrite the stored signature: everything must re-scan, exactly
+        # as if a rule module had been edited.
+        path = cache_dir / "scan.pkl"
+        payload = pickle.loads(path.read_bytes())
+        assert payload["signature"] == rules_signature()
+        payload["signature"] = "something else"
+        path.write_bytes(pickle.dumps(payload))
+        result = run([str(tmp_path)], n_jobs=1, cache_dir=str(cache_dir))
+        assert result.n_cached == 0
+
+    def test_cache_dir_is_never_linted(self, tmp_path):
+        make_tree(tmp_path, 3)
+        cache_dir = tmp_path / "src" / ".replint-cache"
+        # A stray .py inside the cache dir must not be walked.
+        write(tmp_path, "src/.replint-cache/junk.py", "import os\n")
+        result = run([str(tmp_path)], n_jobs=1, cache_dir=str(cache_dir))
+        assert result.n_files == 3
+        assert result.findings == []
+
+
+class TestWarmRunSpeed:
+    def test_single_edit_relint_is_under_a_fifth_of_cold(self, tmp_path):
+        """A warm single-file edit re-lints in <20% of a cold full-tree
+        run (the ISSUE's acceptance bar for the incremental driver)."""
+        make_tree(tmp_path, 60)
+        cache_dir = str(tmp_path / ".replint-cache")
+
+        start = time.perf_counter()
+        cold = run([str(tmp_path)], n_jobs=1, cache_dir=cache_dir)
+        cold_s = time.perf_counter() - start
+        assert cold.n_cached == 0
+
+        target = tmp_path / "src/repro/ml/mod_030.py"
+        target.write_text(
+            MODULE_BODY.format(i=30) + "\n\nEXTRA_30 = 1\n", encoding="utf-8"
+        )
+        start = time.perf_counter()
+        warm = run([str(tmp_path)], n_jobs=1, cache_dir=cache_dir)
+        warm_s = time.perf_counter() - start
+
+        assert warm.n_cached == warm.n_files - 1
+        assert warm_s < 0.20 * cold_s, (
+            f"warm re-lint took {warm_s:.3f}s vs cold {cold_s:.3f}s "
+            f"({warm_s / cold_s:.0%}); the cache is not earning its keep"
+        )
+
+
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+    )
+
+
+class TestChangedSince:
+    def _seed_repo(self, tmp_path: Path) -> Path:
+        write(
+            tmp_path,
+            "src/repro/ml/base.py",
+            '''
+            __all__ = ["scale"]
+            def scale(x):
+                return 2 * x
+            ''',
+        )
+        write(
+            tmp_path,
+            "src/repro/ml/user.py",
+            '''
+            from .base import scale
+            __all__ = ["apply"]
+            def apply(x):
+                print(x)
+                return scale(x)
+            ''',
+        )
+        write(
+            tmp_path,
+            "src/repro/ml/loner.py",
+            '''
+            __all__ = ["solo"]
+            def solo(x):
+                print(x)
+                return x
+            ''',
+        )
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", ".")
+        _git(tmp_path, "commit", "-q", "-m", "seed")
+        return tmp_path
+
+    def test_reports_changed_files_and_their_dependents(
+        self, tmp_path, monkeypatch
+    ):
+        repo = self._seed_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        # Edit base.py only.  user.py imports it, so user.py's findings
+        # are back in scope; loner.py's identical finding is not.
+        (repo / "src/repro/ml/base.py").write_text(
+            '__all__ = ["scale"]\ndef scale(x):\n    return 3 * x\n',
+            encoding="utf-8",
+        )
+        result = run(["src"], n_jobs=1, changed_since="HEAD")
+        assert result.n_reported_files == 2
+        assert [f.path for f in result.findings] == ["src/repro/ml/user.py"]
+        assert [f.code for f in result.findings] == ["REP008"]
+
+    def test_full_run_still_sees_everything(self, tmp_path, monkeypatch):
+        repo = self._seed_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        result = run(["src"], n_jobs=1)
+        assert sorted({f.path for f in result.findings}) == [
+            "src/repro/ml/loner.py",
+            "src/repro/ml/user.py",
+        ]
+
+    def test_untracked_files_count_as_changed(self, tmp_path, monkeypatch):
+        repo = self._seed_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        write(
+            repo,
+            "src/repro/ml/fresh.py",
+            '''
+            __all__ = ["loud"]
+            def loud(x):
+                print(x)
+            ''',
+        )
+        assert changed_files("HEAD") == ["src/repro/ml/fresh.py"]
+        result = run(["src"], n_jobs=1, changed_since="HEAD")
+        assert [f.path for f in result.findings] == ["src/repro/ml/fresh.py"]
+
+    def test_unresolvable_ref_raises_value_error(self, tmp_path, monkeypatch):
+        repo = self._seed_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        try:
+            run(["src"], n_jobs=1, changed_since="no-such-ref")
+        except ValueError as exc:
+            assert "no-such-ref" in str(exc) or "git" in str(exc)
+        else:
+            raise AssertionError("expected ValueError for a bad ref")

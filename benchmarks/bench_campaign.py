@@ -1,0 +1,149 @@
+"""Bench the campaign engine: cells/sec and checkpoint-resume overhead.
+
+Usage::
+
+    python benchmarks/bench_campaign.py [--scale smoke] [--n-jobs 2] \\
+        [--out BENCH_campaign.json]
+
+Three measurements over the synthetic evaluator (the engine — sharding,
+funnel, checkpointing — is under test, not the science):
+
+* **fresh** — an uncheckpointed end-to-end sweep: engine throughput in
+  cells/sec, the number that says what a thousand-cell grid will cost;
+* **replay** — a second run over a fully checkpointed directory: every
+  shard loads from disk, so this is the pure resume overhead a restart
+  pays before it reaches new work;
+* **partial resume** — run half the shards, then finish: the realistic
+  crash-recovery path (replay half, compute half).
+
+Writes ``BENCH_campaign.json`` at the repo root (CI uploads it as an
+artifact next to ``BENCH_throughput.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+OUTPUT = REPO / "BENCH_campaign.json"
+
+
+def _timed(fn):
+    """(result, elapsed_seconds) of one call."""
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def bench(scale: str, n_jobs: int, shard_size: int) -> dict:
+    from repro.experiments.campaign import (
+        CampaignConfig,
+        default_grid,
+        run_campaign,
+    )
+
+    spec = default_grid(scale)
+    n_cells = len(spec.enumerate()[0])
+
+    def config(**overrides):
+        base = dict(
+            spec=spec, evaluator="synthetic", n_jobs=n_jobs,
+            shard_size=shard_size,
+        )
+        base.update(overrides)
+        return CampaignConfig(**base)
+
+    # Warm-up: pay the pool/import start-up cost outside the clock.
+    run_campaign(config())
+
+    fresh_result, fresh_s = _timed(lambda: run_campaign(config()))
+    coverage = fresh_result.report["coverage"]
+    assert coverage["complete"], f"bench run did not complete: {coverage}"
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-campaign-"))
+    try:
+        full_dir = workdir / "full"
+        _, checkpointed_s = _timed(
+            lambda: run_campaign(config(checkpoint_dir=full_dir))
+        )
+        replay_result, replay_s = _timed(
+            lambda: run_campaign(config(checkpoint_dir=full_dir))
+        )
+        n_shards = replay_result.report["campaign"]["n_shards"]
+        assert replay_result.report["campaign"]["n_shards_resumed"] == n_shards
+
+        half = max(1, n_shards // 2)
+        part_dir = workdir / "partial"
+        _, first_half_s = _timed(
+            lambda: run_campaign(
+                config(checkpoint_dir=part_dir, stop_after_shards=half)
+            )
+        )
+        finish_result, finish_s = _timed(
+            lambda: run_campaign(config(checkpoint_dir=part_dir))
+        )
+        assert finish_result.report["coverage"]["complete"]
+        assert finish_result.table.rows == fresh_result.table.rows
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "scale": scale,
+        "n_cells": n_cells,
+        "n_shards": n_shards,
+        "shard_size": shard_size,
+        "n_jobs": n_jobs,
+        "fresh": {
+            "seconds": round(fresh_s, 4),
+            "cells_per_sec": round(n_cells / fresh_s, 2),
+        },
+        "checkpointed": {
+            "seconds": round(checkpointed_s, 4),
+            "write_overhead_fraction": round(
+                max(0.0, checkpointed_s / fresh_s - 1.0), 4
+            ),
+        },
+        "replay": {
+            "seconds": round(replay_s, 4),
+            "shards_resumed": n_shards,
+            "overhead_vs_fresh_fraction": round(replay_s / fresh_s, 4),
+        },
+        "partial_resume": {
+            "first_half_seconds": round(first_half_s, 4),
+            "finish_seconds": round(finish_s, 4),
+            "shards_resumed": half,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="smoke")
+    parser.add_argument("--n-jobs", type=int, default=2)
+    parser.add_argument("--shard-size", type=int, default=4)
+    parser.add_argument("--out", default=str(OUTPUT))
+    args = parser.parse_args(argv)
+
+    payload = bench(args.scale, args.n_jobs, args.shard_size)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+    print(f"written to {out}", file=sys.stderr)
+    # Replaying a fully checkpointed campaign must be much cheaper than
+    # recomputing it; a broken cache would silently recompute instead.
+    if payload["replay"]["overhead_vs_fresh_fraction"] > 0.5:
+        print("FAIL: shard replay cost >50% of a fresh run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from .. import obs
 from ..obs import log
 from . import (
     ablations,
+    campaign,
     endtoend,
     fig1,
     fig2,
@@ -75,6 +76,9 @@ RUNNERS = {
     ),
     "ablation-hierarchy": (
         ablations.run_hierarchy_ablation, "hierarchical vs flat"
+    ),
+    "campaign": (
+        campaign.run, "fault-tolerant sharded collection-factor sweep"
     ),
 }
 

@@ -34,14 +34,27 @@ import re
 from pathlib import Path
 from typing import Callable, Dict, Optional, TypeVar, Union
 
+from ..obs import log as _log
 from ..obs import trace as _obs
 from ..util.io import atomic_write_bytes, atomic_write_json
 
-__all__ = ["CheckpointStore", "checkpoint_store"]
+__all__ = ["CheckpointCorruptError", "CheckpointStore", "checkpoint_store"]
 
 _T = TypeVar("_T")
 
 _META_FILE = "meta.json"
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A stage file exists but cannot be unpickled (torn or garbage).
+
+    Atomic writes mean a *crash* never leaves a torn stage file — but a
+    full disk, a truncating copy, or bit rot still can.  A corrupt
+    checkpoint must never take down a resume that could simply recompute
+    the stage, so :meth:`CheckpointStore.stage` treats this error as a
+    cache miss (with a logged warning); only direct :meth:`load` calls,
+    which have no compute fallback, surface it.
+    """
 
 
 def _slug(name: str) -> str:
@@ -74,7 +87,20 @@ class CheckpointStore:
     def _check_meta(self) -> None:
         path = self.directory / _META_FILE
         if path.exists():
-            existing = json.loads(path.read_text(encoding="utf-8"))
+            try:
+                existing = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                # A mangled fingerprint cannot vouch for any checkpoint
+                # in the directory: drop the stages and start over
+                # rather than resuming against unverifiable state.
+                _log.warning(
+                    f"checkpoint fingerprint {path} is corrupt; "
+                    f"discarding stale checkpoints and starting fresh"
+                )
+                for stage in self.directory.glob("*.pkl"):
+                    stage.unlink()
+                atomic_write_json(path, self.meta)
+                return
             if existing != self.meta:
                 raise ValueError(
                     f"checkpoint directory {self.directory} belongs to a "
@@ -101,21 +127,42 @@ class CheckpointStore:
         return value
 
     def load(self, name: str):
-        """Load a stage's payload (pickle: load only your own files)."""
-        with self._stage_path(name).open("rb") as handle:
-            return pickle.load(handle)
+        """Load a stage's payload (pickle: load only your own files).
+
+        Raises :class:`CheckpointCorruptError` when the file exists but
+        does not contain a loadable pickle (truncated mid-copy, garbage
+        bytes, a class that no longer imports).
+        """
+        path = self._stage_path(name)
+        with path.open("rb") as handle:
+            try:
+                return pickle.load(handle)
+            except Exception as exc:
+                raise CheckpointCorruptError(
+                    f"checkpoint stage {name!r} at {path} is unreadable "
+                    f"({type(exc).__name__}: {exc})"
+                ) from exc
 
     def stage(self, name: str, compute: Callable[[], _T]) -> _T:
         """Return the stage's checkpointed payload, computing on a miss.
 
         The unit of resume: wrap each expensive step as
         ``store.stage("groups", lambda: ...)`` and an interrupted run
-        replays completed stages from disk.
+        replays completed stages from disk.  A corrupt stage file
+        degrades to a recompute (warning logged, ``checkpoint.corrupt``
+        counter) instead of failing the whole resume.
         """
         if self.has(name):
-            _obs.counter("checkpoint.hits").inc()
-            with _obs.span(f"stage.{name}", cached=True):
-                return self.load(name)
+            try:
+                with _obs.span(f"stage.{name}", cached=True):
+                    value = self.load(name)
+            except CheckpointCorruptError as exc:
+                _log.warning(f"{exc}; recomputing the stage")
+                _obs.counter("checkpoint.corrupt").inc()
+                self._stage_path(name).unlink(missing_ok=True)
+            else:
+                _obs.counter("checkpoint.hits").inc()
+                return value
         _obs.counter("checkpoint.misses").inc()
         with _obs.span(f"stage.{name}"):
             return self.save(name, compute())

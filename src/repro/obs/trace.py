@@ -294,6 +294,10 @@ class _NullSpan:
 
     __slots__ = ()
 
+    def annotate(self, **attrs) -> None:
+        """No-op counterpart of :meth:`_Span.annotate`."""
+        return None
+
     def __enter__(self) -> "_NullSpan":
         return self
 
@@ -322,6 +326,15 @@ class _Span:
         self._cpu0 = 0.0
         self._mem0: Optional[int] = None
         self._child_wall_ms = 0.0
+
+    def annotate(self, **attrs) -> None:
+        """Attach attrs discovered mid-span (small JSON-able values).
+
+        Open-time attrs cover most uses; this exists for facts only
+        known while the span runs — e.g. which work items failed inside
+        a ``parallel.map`` region.  Call before the span closes.
+        """
+        self._attrs.update(attrs)
 
     def __enter__(self) -> "_Span":
         stack = self._collector._stack()

@@ -305,6 +305,62 @@ KNOBS: Dict[str, Knob] = _declare(
             "counted in `obs.spans_dropped`"
         ),
     ),
+    Knob(
+        name="REPRO_CAMPAIGN_SHARD_SIZE",
+        kind="int",
+        default=16,
+        minimum=1,
+        doc=(
+            "grid cells per campaign shard — the unit of checkpoint/"
+            "resume granularity (results unchanged)"
+        ),
+    ),
+    Knob(
+        name="REPRO_CAMPAIGN_RETRIES",
+        kind="int",
+        default=2,
+        minimum=0,
+        doc=(
+            "retry rounds for a failed campaign cell before it is "
+            "quarantined (the run keeps going either way)"
+        ),
+    ),
+    Knob(
+        name="REPRO_CAMPAIGN_BACKOFF",
+        kind="float",
+        default=0.0,
+        minimum=0.0,
+        default_label="0 (no wait)",
+        doc=(
+            "base backoff in seconds between campaign cell retry rounds "
+            "(doubles per round, ±25 % deterministic jitter; only waits "
+            "when a sleep hook is installed)"
+        ),
+    ),
+    Knob(
+        name="REPRO_CAMPAIGN_CELL_TIMEOUT",
+        kind="float",
+        default=0.0,
+        minimum=0.0,
+        default_label="0 (off)",
+        doc=(
+            "seconds without any cell completing before a shard's worker "
+            "pool is declared stalled and torn down (survivors are kept, "
+            "the rest go through the retry funnel)"
+        ),
+    ),
+    Knob(
+        name="REPRO_CAMPAIGN_CHAOS",
+        kind="float",
+        default=0.0,
+        minimum=0.0,
+        default_label="0 (off)",
+        doc=(
+            "chaos self-test disruption probability per (cell, attempt): "
+            "deterministically crashes, hangs, or fails workers to prove "
+            "the campaign engine's fault tolerance"
+        ),
+    ),
     # Bench-harness knobs: declared for REP001's registry check but kept
     # out of the README tuning table (they scale benchmarks, not the
     # library).

@@ -31,13 +31,26 @@ Worker-count resolution (:func:`resolve_n_jobs`):
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+import threading
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from ..obs import trace as _obs
 from .knobs import get_float, get_int
 
 __all__ = [
+    "ItemFailure",
     "effective_workers",
+    "last_map_failures",
     "parallel_map",
     "resolve_n_jobs",
     "resolve_task_retries",
@@ -49,6 +62,42 @@ _R = TypeVar("_R")
 
 #: Placeholder for not-yet-computed results (``None`` is a valid result).
 _PENDING = object()
+
+
+@dataclass
+class ItemFailure:
+    """Pool-side failure history of one work item, for salvage reports.
+
+    Attributes:
+        index: the item's position in the input sequence.
+        attempts: pool rounds in which the item failed before the serial
+            salvage pass recomputed it.
+        error: ``repr`` of the last pool-side exception, or a stall
+            marker when the item's round timed out without completing.
+    """
+
+    index: int
+    attempts: int = 0
+    error: str = ""
+
+
+#: Per-thread record of the most recent :func:`parallel_map` call's
+#: item failures, so callers (the campaign quarantine report) can name
+#: exactly which item needed salvage and why without threading a stats
+#: object through every signature.
+_TLS = threading.local()
+
+
+def last_map_failures() -> List[ItemFailure]:
+    """Item failures of this thread's most recent :func:`parallel_map`.
+
+    Empty when every item completed inside its first pool round (or the
+    call took the serial path).  Entries are sorted by item index and
+    describe *pool-side* history only — each listed item was still
+    recomputed by the serial salvage pass, so the map's results remain
+    complete and deterministic.
+    """
+    return list(getattr(_TLS, "failures", ()))
 
 
 def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
@@ -127,6 +176,14 @@ def _terminate_pool(pool, stalled: bool) -> None:
             pass
 
 
+def _note_failure(
+    failures: Dict[int, ItemFailure], index: int, error: str
+) -> None:
+    record = failures.setdefault(index, ItemFailure(index))
+    record.attempts += 1
+    record.error = error
+
+
 def _pool_attempt(
     fn: Callable[[_T], _R],
     work: Sequence[_T],
@@ -134,18 +191,22 @@ def _pool_attempt(
     pending: Sequence[int],
     n_jobs: int,
     timeout: Optional[float],
+    failures: Dict[int, ItemFailure],
 ) -> List[int]:
     """Run one pool round over ``pending`` items; return the survivors.
 
     Results of completed items land in ``results``; indices whose item
     raised, whose worker died, or that were still unfinished when the
-    pool stalled are returned for the caller to retry.
+    pool stalled are returned for the caller to retry, with the attempt
+    and last-error history accumulated in ``failures``.
     """
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
     try:
         pool = ProcessPoolExecutor(max_workers=min(n_jobs, len(pending)))
-    except Exception:
+    except Exception as exc:
+        for index in pending:
+            _note_failure(failures, index, f"pool unavailable: {exc!r}")
         return list(pending)
     stalled = False
     failed: List[int] = []
@@ -157,11 +218,16 @@ def _pool_attempt(
                 future = pool.submit(fn, work[index])
                 index_of[future] = index
                 waiting.add(future)
-        except Exception:
+        except Exception as exc:
             # Submission itself failed (pool already broken): everything
             # not yet submitted is retried; whatever was submitted is
             # drained below.
-            failed.extend(i for i in pending if i not in index_of.values())
+            for index in pending:
+                if index not in index_of.values():
+                    failed.append(index)
+                    _note_failure(
+                        failures, index, f"submission failed: {exc!r}"
+                    )
         while waiting:
             done, waiting = wait(
                 waiting, timeout=timeout, return_when=FIRST_COMPLETED
@@ -170,15 +236,23 @@ def _pool_attempt(
                 # Nothing finished within the stall bound: declare the
                 # pool hung, keep what completed, retry the rest.
                 stalled = True
-                failed.extend(index_of[future] for future in waiting)
+                for future in waiting:
+                    index = index_of[future]
+                    failed.append(index)
+                    _note_failure(
+                        failures,
+                        index,
+                        f"stalled: no completion within {timeout}s",
+                    )
                 waiting = set()
                 break
             for future in done:
                 index = index_of[future]
                 try:
                     results[index] = future.result()
-                except Exception:
+                except Exception as exc:
                     failed.append(index)
+                    _note_failure(failures, index, repr(exc))
     finally:
         _terminate_pool(pool, stalled)
     return sorted(failed)
@@ -230,11 +304,12 @@ def parallel_map(
         len(work), resolve_n_jobs(n_jobs), min_items_per_worker
     )
     if n_jobs <= 1 or len(work) <= 1:
+        _TLS.failures = []
         return _serial_map(fn, work)
     timeout = resolve_task_timeout(timeout)
     retries = resolve_task_retries(retries)
     if not _obs.enabled():
-        results, _, _ = _pooled_map(fn, work, n_jobs, timeout, retries)
+        results, _, _, _ = _pooled_map(fn, work, n_jobs, timeout, retries)
         return results  # type: ignore[return-value]
     return _observed_pooled_map(fn, work, n_jobs, timeout, retries)
 
@@ -245,22 +320,26 @@ def _pooled_map(
     n_jobs: int,
     timeout: Optional[float],
     retries: int,
-) -> Tuple[List[object], int, int]:
+) -> Tuple[List[object], int, int, List[ItemFailure]]:
     """Pool rounds + serial salvage over ``work``.
 
-    Returns ``(results, extra_rounds_used, n_salvaged)`` — the retry and
-    salvage counts feed the ``parallel.*`` metrics when observability is
-    on and are ignored otherwise.
+    Returns ``(results, extra_rounds_used, n_salvaged, failures)`` — the
+    retry/salvage counts feed the ``parallel.*`` metrics when
+    observability is on, and the per-item failure contexts are published
+    through :func:`last_map_failures` either way.
     """
     results: List[object] = [_PENDING] * len(work)
     pending: List[int] = list(range(len(work)))
     extra_rounds = 0
+    failures: Dict[int, ItemFailure] = {}
     for attempt in range(1 + retries):
         if not pending:
             break
         if attempt:
             extra_rounds += 1
-        pending = _pool_attempt(fn, work, results, pending, n_jobs, timeout)
+        pending = _pool_attempt(
+            fn, work, results, pending, n_jobs, timeout, failures
+        )
     n_salvaged = len(pending)
     for index in pending:
         # Serial salvage: pure items recompute to the same value; a
@@ -268,7 +347,9 @@ def _pooled_map(
         # that genuinely hangs forever blocks here exactly as the serial
         # path always would.
         results[index] = fn(work[index])
-    return results, extra_rounds, n_salvaged
+    ordered = sorted(failures.values(), key=lambda f: f.index)
+    _TLS.failures = ordered
+    return results, extra_rounds, n_salvaged, ordered
 
 
 def _observed_pooled_map(
@@ -288,9 +369,9 @@ def _observed_pooled_map(
     """
     task = _obs.WorkerTask(fn)
     results: List[_R] = []
-    with _obs.span("parallel.map", n_jobs=n_jobs, n_items=len(work)):
+    with _obs.span("parallel.map", n_jobs=n_jobs, n_items=len(work)) as sp:
         t0 = _obs.now_ms()
-        wrapped, extra_rounds, n_salvaged = _pooled_map(
+        wrapped, extra_rounds, n_salvaged, failures = _pooled_map(
             task, work, n_jobs, timeout, retries
         )
         region_ms = _obs.now_ms() - t0
@@ -302,7 +383,22 @@ def _observed_pooled_map(
                     busy_ms += float(hist["total"])
                 _obs.merge_payload(payload)
             results.append(value)
+        if failures:
+            # Name the failing items on the span itself so a trace
+            # report can say *which* cell/file was salvaged, not just
+            # how many (capped: attrs must stay small).
+            sp.annotate(
+                item_failures=[
+                    f"#{f.index} x{f.attempts}: {f.error[:120]}"
+                    for f in failures[:8]
+                ],
+                n_item_failures=len(failures),
+            )
     _obs.counter("parallel.items").inc(len(work))
+    if failures:
+        _obs.counter("parallel.item_retries").inc(
+            sum(f.attempts for f in failures)
+        )
     if n_salvaged:
         _obs.counter("parallel.items_salvaged").inc(n_salvaged)
     if extra_rounds:

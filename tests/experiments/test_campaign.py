@@ -1,0 +1,334 @@
+"""Campaign engine: grid spec, retry funnel, chaos, resume, Pareto."""
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignConfig,
+    Cell,
+    CellRunner,
+    ChaosConfig,
+    ChaosError,
+    GridSpec,
+    default_grid,
+    evaluate_synthetic,
+    pareto_front,
+    run_campaign,
+)
+
+TINY_AXES = {
+    "decimation": (1, 4),
+    "omega0": (6.0, 8.0),
+    "kl_threshold": ("auto:0.9", "inf"),
+    "fault_rate": (0.0, 0.15),
+}
+
+
+def tiny_spec(**overrides):
+    axes = dict(TINY_AXES)
+    axes.update(overrides)
+    return GridSpec.from_axes(axes)
+
+
+class TestGridSpec:
+    def test_enumerates_cartesian_product_in_order(self):
+        spec = GridSpec.from_axes({"a": (1, 2), "b": ("x", "y")})
+        cells, excluded = spec.enumerate()
+        assert excluded == 0
+        assert [c.param_dict for c in cells] == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_constraints_exclude_and_count(self):
+        spec = GridSpec.from_axes(
+            {"a": (1, 2, 3)}, constraints=(lambda p: p["a"] != 2,)
+        )
+        cells, excluded = spec.enumerate()
+        assert [c.param_dict["a"] for c in cells] == [1, 3]
+        assert excluded == 1
+        assert spec.n_raw() == 3
+
+    def test_cell_ids_are_stable_and_order_independent(self):
+        forward = GridSpec.from_axes({"a": (1,), "b": (2,)})
+        backward = GridSpec.from_axes({"b": (2,), "a": (1,)})
+        fwd_cell = forward.enumerate()[0][0]
+        bwd_cell = backward.enumerate()[0][0]
+        assert fwd_cell.cell_id == bwd_cell.cell_id  # content-addressed
+        assert len(fwd_cell.cell_id) == 12
+
+    def test_cell_ids_are_distinct_per_cell(self):
+        cells, _ = tiny_spec().enumerate()
+        assert len({c.cell_id for c in cells}) == len(cells)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            GridSpec.from_axes({"a": ()})
+        with pytest.raises(ValueError, match="at least one axis"):
+            GridSpec.from_axes({})
+
+    def test_fingerprint_tracks_grid_identity(self):
+        assert tiny_spec().fingerprint() == tiny_spec().fingerprint()
+        changed = tiny_spec(decimation=(1, 2))
+        assert changed.fingerprint() != tiny_spec().fingerprint()
+
+    def test_default_grids_exclude_unresolvable_band(self):
+        cells, excluded = default_grid("bench").enumerate()
+        assert excluded > 0
+        assert all(
+            not (c.param_dict["decimation"] >= 8
+                 and c.param_dict["omega0"] >= 12.0)
+            for c in cells
+        )
+        with pytest.raises(KeyError, match="no campaign grid"):
+            default_grid("nope")
+
+
+class TestChaos:
+    def test_rate_zero_never_disrupts(self):
+        chaos = ChaosConfig(rate=0.0, seed=1)
+        for i in range(50):
+            chaos.disrupt(f"cell-{i}", 0)  # must not raise
+
+    def test_disruption_is_deterministic_in_cell_and_attempt(self):
+        chaos = ChaosConfig(rate=0.5, seed=3)
+
+        def outcome(cell_id, attempt):
+            try:
+                chaos.disrupt(cell_id, attempt)
+                return "ok"
+            except ChaosError as exc:
+                return str(exc)
+
+        first = [outcome(f"c{i}", a) for i in range(40) for a in (0, 1)]
+        second = [outcome(f"c{i}", a) for i in range(40) for a in (0, 1)]
+        assert first == second
+        assert any(o != "ok" for o in first)
+        assert any(o == "ok" for o in first)
+
+    def test_driver_process_never_killed_only_raises(self):
+        # In the main process every chaos mode must degrade to
+        # ChaosError — os._exit here would kill the test run itself.
+        chaos = ChaosConfig(rate=1.0, seed=0)
+        for i in range(30):
+            with pytest.raises(ChaosError):
+                chaos.disrupt(f"cell-{i}", 0)
+
+
+class TestCellRunner:
+    def test_unknown_evaluator_rejected(self):
+        with pytest.raises(KeyError, match="unknown evaluator"):
+            CellRunner("nope", 1, ChaosConfig())
+
+    def test_ok_result_carries_metrics(self):
+        cell = tiny_spec().enumerate()[0][0]
+        runner = CellRunner("synthetic", 7, ChaosConfig())
+        result = runner((cell, 0))
+        assert result.status == "ok"
+        assert result.attempts == 1
+        assert set(result.metrics) == {
+            "accuracy", "capture_cost", "inference_cost"
+        }
+
+    def test_in_cell_error_becomes_error_result(self):
+        cell = tiny_spec().enumerate()[0][0]
+        runner = CellRunner("synthetic", 7, ChaosConfig(rate=1.0, seed=0))
+        result = runner((cell, 0))
+        assert result.status == "error"
+        assert "ChaosError" in result.error
+
+
+class TestCampaignRun:
+    def test_clean_run_completes_every_cell(self):
+        result = run_campaign(
+            CampaignConfig(spec=tiny_spec(), n_jobs=1, shard_size=5)
+        )
+        coverage = result.report["coverage"]
+        assert coverage["complete"] and coverage["accounted"]
+        assert coverage["n_completed"] == 16
+        assert len(result.table.rows) == 16
+        assert all(r["status"] == "completed" for r in result.table.rows)
+
+    def test_rows_follow_enumeration_order(self):
+        result = run_campaign(
+            CampaignConfig(spec=tiny_spec(), n_jobs=1, shard_size=3)
+        )
+        cells, _ = tiny_spec().enumerate()
+        assert [r["cell"] for r in result.table.rows] == [
+            c.cell_id for c in cells
+        ]
+
+    def test_chaos_run_terminates_and_accounts_for_everything(self):
+        result = run_campaign(
+            CampaignConfig(
+                spec=tiny_spec(),
+                chaos_rate=0.3,
+                chaos_hang_seconds=1.0,
+                n_jobs=1,  # serial: crash/hang degrade to ChaosError
+                retries=0,
+                shard_size=8,
+            )
+        )
+        coverage = result.report["coverage"]
+        assert coverage["accounted"]
+        assert coverage["n_quarantined"] > 0
+        for entry in result.report["quarantined"]:
+            assert entry["error"]
+            assert entry["params"]
+
+    def test_retries_rescue_transient_chaos(self):
+        hostile = run_campaign(
+            CampaignConfig(
+                spec=tiny_spec(), chaos_rate=0.3, n_jobs=1,
+                retries=0, shard_size=8,
+            )
+        )
+        patient = run_campaign(
+            CampaignConfig(
+                spec=tiny_spec(), chaos_rate=0.3, n_jobs=1,
+                retries=3, shard_size=8,
+            )
+        )
+        h_cov = hostile.report["coverage"]
+        p_cov = patient.report["coverage"]
+        assert p_cov["n_completed"] > h_cov["n_completed"]
+        retried = [
+            r for r in patient.results
+            if r.status == "completed" and r.attempts > 1
+        ]
+        assert retried  # some cells genuinely went through the funnel
+
+    def test_results_independent_of_worker_count(self):
+        serial = run_campaign(
+            CampaignConfig(spec=tiny_spec(), n_jobs=1, shard_size=4)
+        )
+        pooled = run_campaign(
+            CampaignConfig(spec=tiny_spec(), n_jobs=2, shard_size=4)
+        )
+        assert serial.table.rows == pooled.table.rows
+        assert serial.report["pareto_front"] == pooled.report["pareto_front"]
+
+    def test_checkpoint_resume_is_bit_identical(self, tmp_path):
+        config = CampaignConfig(
+            spec=tiny_spec(), n_jobs=1, shard_size=4,
+            checkpoint_dir=tmp_path / "camp",
+        )
+        baseline = run_campaign(
+            CampaignConfig(spec=tiny_spec(), n_jobs=1, shard_size=4)
+        )
+        first = run_campaign(config)
+        resumed = run_campaign(config)  # all four shards replay from disk
+        assert first.table.rows == baseline.table.rows
+        assert resumed.table.rows == baseline.table.rows
+        assert resumed.report["campaign"]["n_shards_resumed"] == 4
+
+    def test_stop_after_shards_skips_and_resume_completes(self, tmp_path):
+        config = CampaignConfig(
+            spec=tiny_spec(), n_jobs=1, shard_size=4,
+            checkpoint_dir=tmp_path / "camp",
+        )
+        partial = run_campaign(
+            CampaignConfig(
+                spec=tiny_spec(), n_jobs=1, shard_size=4,
+                checkpoint_dir=tmp_path / "camp", stop_after_shards=2,
+            )
+        )
+        coverage = partial.report["coverage"]
+        assert coverage["n_completed"] == 8
+        assert coverage["n_skipped"] == 8
+        assert coverage["accounted"] and not coverage["complete"]
+        skipped_rows = [
+            r for r in partial.table.rows if r["status"] == "skipped"
+        ]
+        assert len(skipped_rows) == 8
+
+        finished = run_campaign(config)
+        baseline = run_campaign(
+            CampaignConfig(spec=tiny_spec(), n_jobs=1, shard_size=4)
+        )
+        assert finished.table.rows == baseline.table.rows
+        assert finished.report["campaign"]["n_shards_resumed"] == 2
+
+    def test_mismatched_grid_refuses_checkpoint_dir(self, tmp_path):
+        run_campaign(
+            CampaignConfig(
+                spec=tiny_spec(), n_jobs=1,
+                checkpoint_dir=tmp_path / "camp",
+            )
+        )
+        with pytest.raises(ValueError, match="different run"):
+            run_campaign(
+                CampaignConfig(
+                    spec=tiny_spec(decimation=(1, 2)), n_jobs=1,
+                    checkpoint_dir=tmp_path / "camp",
+                )
+            )
+
+    def test_backoff_uses_injected_sleep(self):
+        slept = []
+        run_campaign(
+            CampaignConfig(
+                spec=tiny_spec(), chaos_rate=0.3, n_jobs=1,
+                retries=2, backoff=0.5, shard_size=16,
+                sleep=slept.append,
+            )
+        )
+        assert slept  # funnel waited between retry rounds
+        assert all(0.0 < s <= 30.0 * 1.25 for s in slept)
+
+
+class TestParetoReport:
+    def test_pareto_front_drops_dominated_points(self):
+        points = [
+            {"accuracy": 90.0, "capture_cost": 10.0, "inference_cost": 5.0},
+            {"accuracy": 80.0, "capture_cost": 10.0, "inference_cost": 5.0},
+            {"accuracy": 95.0, "capture_cost": 20.0, "inference_cost": 5.0},
+            {"accuracy": 85.0, "capture_cost": 5.0, "inference_cost": 9.0},
+        ]
+        assert pareto_front(points) == [0, 2, 3]
+
+    def test_identical_points_all_survive(self):
+        point = {"accuracy": 1.0, "capture_cost": 1.0, "inference_cost": 1.0}
+        assert pareto_front([dict(point), dict(point)]) == [0, 1]
+
+    def test_report_front_is_consistent_and_recommended_tops_it(self):
+        result = run_campaign(
+            CampaignConfig(spec=tiny_spec(), n_jobs=1)
+        )
+        front = result.report["pareto_front"]
+        assert front
+        recommended = result.report["recommended"]
+        assert recommended == front[0]
+        best_accuracy = max(e["metrics"]["accuracy"] for e in front)
+        assert recommended["metrics"]["accuracy"] == best_accuracy
+        # No front member may dominate another.
+        metrics = [e["metrics"] for e in front]
+        assert pareto_front(metrics) == list(range(len(metrics)))
+
+    def test_synthetic_surface_has_nontrivial_tradeoff(self):
+        cells, _ = tiny_spec().enumerate()
+        metrics = [evaluate_synthetic(c, 2018) for c in cells]
+        front = pareto_front(metrics)
+        assert 1 < len(front) < len(cells)
+
+
+class TestObsIntegration:
+    def test_campaign_spans_and_counters(self):
+        from repro import obs
+
+        collector = obs.activate()
+        try:
+            run_campaign(
+                CampaignConfig(
+                    spec=tiny_spec(), chaos_rate=0.3, n_jobs=1,
+                    retries=1, shard_size=8,
+                )
+            )
+        finally:
+            obs.deactivate()
+        names = {s.name for s in collector.spans}
+        assert {"campaign.run", "campaign.shard", "campaign.cell"} <= names
+        snapshot = collector.metrics.snapshot()
+        assert snapshot["campaign.cells_completed"]["value"] > 0
+        assert snapshot["campaign.cell_retries"]["value"] > 0

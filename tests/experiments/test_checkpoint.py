@@ -113,3 +113,86 @@ class TestRunnerResume:
         other = TINY.with_overrides(name="tiny-2")
         with pytest.raises(ValueError, match="different run"):
             ablations.run_cwt_ablation(other, checkpoint_dir=ckpt)
+
+
+class TestCorruptCheckpoints:
+    """Torn, truncated or garbage stage files must degrade, not crash."""
+
+    def _store(self, tmp_path):
+        return CheckpointStore(tmp_path, experiment="corrupt-t")
+
+    def test_load_truncated_pickle_raises_typed_error(self, tmp_path):
+        from repro.experiments.checkpoint import CheckpointCorruptError
+
+        store = self._store(tmp_path)
+        store.save("alpha", {"value": list(range(1000))})
+        path = tmp_path / "alpha.pkl"
+        path.write_bytes(path.read_bytes()[: 10])  # torn mid-write copy
+        with pytest.raises(CheckpointCorruptError, match="alpha"):
+            store.load("alpha")
+
+    def test_load_garbage_payload_raises_typed_error(self, tmp_path):
+        from repro.experiments.checkpoint import CheckpointCorruptError
+
+        store = self._store(tmp_path)
+        (tmp_path / "beta.pkl").write_bytes(b"\x00\xffnot a pickle\x80")
+        with pytest.raises(CheckpointCorruptError, match="beta"):
+            store.load("beta")
+
+    def test_stage_recomputes_over_truncated_file(self, tmp_path):
+        store = self._store(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 42}
+
+        assert store.stage("gamma", compute) == {"value": 42}
+        path = tmp_path / "gamma.pkl"
+        path.write_bytes(path.read_bytes()[: 4])
+        # Degrades to a recompute and rewrites a healthy checkpoint.
+        assert store.stage("gamma", compute) == {"value": 42}
+        assert calls == [1, 1]
+        assert store.stage("gamma", compute) == {"value": 42}
+        assert calls == [1, 1]
+
+    def test_stage_recomputes_over_garbage_file(self, tmp_path):
+        store = self._store(tmp_path)
+        (tmp_path / "delta.pkl").write_bytes(b"garbage" * 7)
+        assert store.stage("delta", lambda: "fresh") == "fresh"
+        assert store.load("delta") == "fresh"
+
+    def test_stage_recomputes_over_empty_file(self, tmp_path):
+        store = self._store(tmp_path)
+        (tmp_path / "eps.pkl").write_bytes(b"")
+        assert store.stage("eps", lambda: 7) == 7
+
+    def test_corrupt_meta_discards_stale_stages(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save("alpha", 1)
+        (tmp_path / "meta.json").write_text("{torn", encoding="utf-8")
+        reopened = self._store(tmp_path)
+        # The unverifiable stage is gone; the fingerprint is rewritten.
+        assert not reopened.has("alpha")
+        again = self._store(tmp_path)  # healthy fingerprint round-trips
+        assert not again.has("alpha")
+
+    def test_corrupt_meta_with_binary_garbage(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save("alpha", 1)
+        (tmp_path / "meta.json").write_bytes(b"\x80\x81\xfe\xff")
+        assert not self._store(tmp_path).has("alpha")
+
+    def test_corruption_bumps_counter(self, tmp_path):
+        from repro import obs
+
+        store = self._store(tmp_path)
+        store.save("zeta", [1, 2, 3])
+        (tmp_path / "zeta.pkl").write_bytes(b"junk")
+        collector = obs.activate()
+        try:
+            assert store.stage("zeta", lambda: [1, 2, 3]) == [1, 2, 3]
+        finally:
+            obs.deactivate()
+        snapshot = collector.metrics.snapshot()
+        assert snapshot["checkpoint.corrupt"]["value"] == 1

@@ -132,3 +132,57 @@ class TestDeterminism:
 
 def _rng_payload(i):
     return np.random.default_rng(i).normal(size=16)
+
+
+class TestFailureContext:
+    """Per-item salvage context surfaced via last_map_failures() + obs."""
+
+    def test_serial_map_reports_no_failures(self):
+        from repro.util.parallel import last_map_failures
+
+        assert parallel_map(_double, [1, 2, 3], n_jobs=1) == [2, 4, 6]
+        assert last_map_failures() == []
+
+    def test_clean_pooled_map_reports_no_failures(self):
+        from repro.util.parallel import last_map_failures
+
+        parallel_map(_double, list(range(6)), n_jobs=2)
+        assert last_map_failures() == []
+
+    def test_crash_records_item_attempts_and_error(self, tmp_path):
+        from repro.util.parallel import last_map_failures
+
+        items = [(i, str(tmp_path)) for i in range(8)]
+        parallel_map(_crash_once, items, n_jobs=2, timeout=0, retries=1)
+        failures = last_map_failures()
+        assert failures, "worker death must surface failure context"
+        assert any(f.index == 3 for f in failures)
+        for record in failures:
+            assert record.attempts >= 1
+            assert record.error  # last failure cause, as text
+
+    def test_context_resets_on_next_map(self, tmp_path):
+        from repro.util.parallel import last_map_failures
+
+        items = [(i, str(tmp_path)) for i in range(6)]
+        parallel_map(_crash_once, items, n_jobs=2, timeout=0, retries=1)
+        assert last_map_failures()
+        parallel_map(_double, [1, 2], n_jobs=1)
+        assert last_map_failures() == []
+
+    def test_failures_feed_obs_span_and_counter(self, tmp_path):
+        from repro import obs
+
+        items = [(i, str(tmp_path)) for i in range(6)]
+        collector = obs.activate()
+        try:
+            parallel_map(_crash_once, items, n_jobs=2, timeout=0, retries=1)
+        finally:
+            obs.deactivate()
+        snapshot = collector.metrics.snapshot()
+        assert snapshot.get("parallel.item_retries", {}).get("value", 0) >= 1
+        spans = [s for s in collector.spans if s.name == "parallel.map"]
+        assert spans
+        attrs = spans[-1].attrs
+        assert attrs.get("n_item_failures", 0) >= 1
+        assert any("#3" in line for line in attrs.get("item_failures", []))

@@ -32,6 +32,15 @@ falls below 1.0x vs seed, or any benchmark named in
 Carried/self baselines are reported but not gated: they were measured on
 whatever machine ran the previous export, so a cross-machine ratio would
 flap.
+
+Every export also appends a ``bench.throughput`` record (the per-bench
+means) to the run ledger (:mod:`repro.obs.ledger`), building the history
+behind ``python -m repro.obs diff``.  With ``--ledger-gate``, this run
+is additionally diffed against the most recent *prior* ``bench.throughput``
+ledger record and exits non-zero when any benchmark regressed beyond
+``REPRO_LEDGER_DIFF_PCT`` — a same-ledger (usually same-machine) check
+that complements the frozen-seed gate.  The gate passes vacuously when
+the ledger has no prior record (fresh checkout).
 """
 
 from __future__ import annotations
@@ -176,8 +185,58 @@ def check(document: dict) -> List[str]:
     return failures
 
 
+def record_to_ledger(document: dict) -> Optional[dict]:
+    """Append this export's means as a ``bench.throughput`` ledger record.
+
+    Best-effort: returns ``None`` (never raises) when :mod:`repro` is
+    not importable from this checkout or the ledger is disabled.
+    """
+    try:
+        from repro.obs import ledger
+    except ImportError:
+        return None
+    return ledger.record_run(
+        "bench.throughput",
+        status="ok",
+        bench={
+            name: row["mean_ms"]
+            for name, row in document["benchmarks"].items()
+        },
+        extra={"machine": document.get("machine", "unknown")},
+    )
+
+
+def ledger_gate(record: Optional[dict]) -> List[str]:
+    """Failures from diffing this export against the prior ledger bench.
+
+    Vacuously passes when the ledger is disabled, has no prior
+    ``bench.throughput`` record, or nothing regressed beyond
+    ``REPRO_LEDGER_DIFF_PCT``.
+    """
+    if record is None:
+        return []
+    from repro.obs import ledger
+
+    history = [
+        r
+        for r in ledger.read_ledger()
+        if r.get("entry") == "bench.throughput"
+        and r.get("run_id") != record.get("run_id")
+    ]
+    if not history:
+        return []
+    result = ledger.diff_runs(history[-1], record)
+    return [
+        f"{row['name']}: {row['old']} -> {row['new']} ms "
+        f"({row['pct']:+.1f}% vs run {result['old_run']}, "
+        f"threshold {result['threshold_pct']}%)"
+        for row in result["regressions"]
+    ]
+
+
 if __name__ == "__main__":
-    args = [a for a in sys.argv[1:] if a != "--check"]
+    flags = {"--check", "--ledger-gate"}
+    args = [a for a in sys.argv[1:] if a not in flags]
     if len(args) != 1:
         sys.exit(__doc__)
     doc = export(args[0])
@@ -186,8 +245,17 @@ if __name__ == "__main__":
         if row.get("speedup_vs_reference"):
             parts.append(f"{row['speedup_vs_reference']}x vs reference")
         print(f"{name}: {row['mean_ms']} ms  ({', '.join(parts)})")
+    ledger_record = record_to_ledger(doc)
+    failed = []
     if "--check" in sys.argv[1:]:
-        failed = check(doc)
+        failed.extend(check(doc))
+    if "--ledger-gate" in sys.argv[1:]:
+        ledger_failures = ledger_gate(ledger_record)
+        if ledger_failures:
+            failed.extend(ledger_failures)
+        else:
+            print("ledger gate: no regression vs prior bench.throughput run")
+    if "--check" in sys.argv[1:] or "--ledger-gate" in sys.argv[1:]:
         if failed:
             print("FAIL: " + "; ".join(failed))
             sys.exit(1)

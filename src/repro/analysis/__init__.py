@@ -45,6 +45,11 @@ REP012    knob-liveness        every registered knob has a read site; every
                                read resolves to a registration
 REP013    unused-suppression   a ``# replint: disable`` comment that silences
                                nothing is itself reported
+REP014    static-metric-names  span/counter/gauge/histogram names are
+                               lowercase dotted string literals
+                               (``area.operation``) — never f-strings or
+                               concatenations — so cross-run diffing can
+                               match on exact names
 ========  ===================  =================================================
 
 Findings are suppressed inline with a justification::

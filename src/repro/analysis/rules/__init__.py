@@ -1,4 +1,4 @@
-"""The replint rule set (REP001–REP013).
+"""The replint rule set (REP001–REP014).
 
 Importing this package populates :data:`repro.analysis.core.RULE_REGISTRY`;
 each module holds one rule so a rule's scope, heuristics, and rationale
@@ -22,6 +22,7 @@ from . import (
     knob_liveness,
     knobs,
     layering,
+    metric_names,
     parallel_safety,
     parity,
     printing,
@@ -39,6 +40,7 @@ __all__ = [
     "knob_liveness",
     "knobs",
     "layering",
+    "metric_names",
     "parallel_safety",
     "parity",
     "printing",

@@ -15,12 +15,24 @@ singletons, one attribute check) when disabled:
   ``python -m repro.obs report`` aggregation CLI.
 
 Plus :mod:`repro.obs.log`, the level-gated stderr logger that replaces
-bare ``print()`` (enforced by replint rule REP008).
+bare ``print()`` (enforced by replint rule REP008), and two layers for
+*running* and *finished* runs:
 
-See DESIGN.md §12 for architecture and the span naming convention.
+* **live** (:mod:`repro.obs.live`) — a background flusher that snapshots
+  status (progress, ETA, open spans, worker heartbeats) to a directory
+  while a campaign runs; ``python -m repro.obs tail DIR`` watches it;
+* **ledger** (:mod:`repro.obs.ledger`) — an append-only history of every
+  entrypoint run (git rev, knobs, duration, metrics, bench numbers);
+  ``python -m repro.obs runs`` lists it and ``... diff A B`` flags
+  cross-run perf regressions.
+
+See DESIGN.md §12 for architecture and the span naming convention, and
+§16 for the live/ledger file formats.
 """
 
-from . import log
+from . import ledger, live, log
+from .ledger import diff_runs, read_ledger, record_run, resolve_run
+from .live import start_live, stop_live, update_progress
 from .metrics import DEFAULT_BUCKETS_MS, MetricsRegistry
 from .sinks import maybe_export, summarize, write_jsonl
 from .trace import (
@@ -48,15 +60,24 @@ __all__ = [
     "active_collector",
     "counter",
     "deactivate",
+    "diff_runs",
     "enabled",
     "gauge",
     "histogram",
+    "ledger",
+    "live",
     "log",
     "maybe_export",
     "merge_payload",
+    "read_ledger",
+    "record_run",
+    "resolve_run",
     "span",
+    "start_live",
+    "stop_live",
     "summarize",
     "take_payload",
     "traced",
+    "update_progress",
     "write_jsonl",
 ]

@@ -1,59 +1,325 @@
-"""CLI for the observability layer: ``python -m repro.obs report run.jsonl``.
+"""CLI for the observability layer: ``python -m repro.obs <command>``.
 
 Subcommands:
 
-* ``report PATH`` — render the flame-style self/cumulative-time table
-  (``--json`` for the machine-readable aggregate);
-* ``report PATH --check`` — validate the trace file and exit 1 with the
-  problem list on stderr if it is malformed (CI uses this to gate the
-  endtoend smoke trace).
+* ``report PATH [PATH...]`` — render the flame-style self/cumulative
+  time table; multiple files (or shell-unexpanded globs like
+  ``'runs/*.jsonl'``) merge into one tree.  ``--json`` for the
+  machine-readable aggregate, ``--check`` to validate each file and
+  exit 1 with the problem list (CI gates the endtoend smoke trace
+  this way).
+* ``tail DIR`` — live view of a running campaign/experiment from the
+  ``status.json`` that :mod:`repro.obs.live` keeps in ``DIR``:
+  progress bar, rate/ETA, open spans, worker health.  Refreshes until
+  interrupted (or once with ``--once``); strictly read-only and
+  tolerant of torn/missing files mid-run.
+* ``runs`` — list the run ledger (``--entry`` to filter, ``--last N``
+  to bound, ``--json`` for records verbatim).
+* ``diff A B`` — compare two ledger runs (ids, unique prefixes, or
+  ``last`` / ``last~N``); spans and bench timings changing more than
+  ``--threshold-pct`` (default the ``REPRO_LEDGER_DIFF_PCT`` knob) are
+  flagged and the exit code is 1 when any regression survives — the CI
+  perf gate is exactly this command.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as _glob
+import json
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
-from .report import load, render_json, render_text, validate
+from ..util.knobs import get_int
+from .ledger import diff_runs, read_ledger, resolve_run
+from .live import load_status
+from .report import load_many, render_json, render_text, validate
 
 __all__ = ["main"]
+
+
+def _expand_paths(patterns: List[str]) -> List[str]:
+    """Expand glob patterns (sorted per pattern); literal paths pass through."""
+    out: List[str] = []
+    for pattern in patterns:
+        matches = sorted(_glob.glob(pattern))
+        out.extend(matches if matches else [pattern])
+    return out
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    paths = _expand_paths(args.paths)
+    if args.check:
+        failed = False
+        for path in paths:
+            problems = validate(path)
+            if problems:
+                failed = True
+                for problem in problems:
+                    sys.stderr.write(f"ERROR: {problem}\n")
+            else:
+                sys.stderr.write(f"OK: {path} is a valid trace\n")
+        return 1 if failed else 0
+    try:
+        parsed = load_many(paths)
+    except (OSError, ValueError) as exc:
+        sys.stderr.write(f"ERROR: {exc}\n")
+        return 1
+    sys.stdout.write(render_json(parsed) if args.json else render_text(parsed))
+    return 0
+
+
+def _render_status(status: Dict[str, object]) -> str:
+    """One human-readable frame of the live view."""
+    lines: List[str] = []
+    elapsed = float(status.get("elapsed_s", 0.0))  # type: ignore[arg-type]
+    now = time.time()  # replint: disable=REP003 -- display-only staleness of the status file; no result data
+    age = max(0.0, now - float(status.get("updated", 0.0)))  # type: ignore[arg-type]
+    final = bool(status.get("final"))
+    state = "finished" if final else f"updated {age:.1f}s ago"
+    lines.append(
+        f"live status: pid {status.get('pid')}  elapsed {elapsed:.1f}s  "
+        f"seq {status.get('seq')}  ({state})"
+    )
+    progress = status.get("progress")
+    if isinstance(progress, dict) and progress:
+        done = progress.get("done")
+        total = progress.get("total")
+        bits = [f"phase {progress.get('phase', '?')}"]
+        if done is not None and total:
+            pct = progress.get("pct", 0.0)
+            bits.append(f"{done}/{total} ({pct}%)")
+        elif done is not None:
+            bits.append(f"{done} done")
+        if "quarantined" in progress:
+            bits.append(f"quarantined {progress['quarantined']}")
+        if "retries" in progress:
+            bits.append(f"retries {progress['retries']}")
+        if "rate_per_s" in progress:
+            bits.append(f"{progress['rate_per_s']}/s")
+        eta = progress.get("eta_s")
+        if isinstance(eta, (int, float)):
+            bits.append(f"ETA {eta:.0f}s")
+        lines.append("progress: " + "  ".join(str(b) for b in bits))
+    open_spans = status.get("open_spans")
+    if isinstance(open_spans, list) and open_spans:
+        lines.append("open spans:")
+        for entry in open_spans[:8]:
+            lines.append(
+                f"  {entry.get('path')}  ({entry.get('open_ms')} ms open)"
+            )
+    workers = status.get("workers")
+    if isinstance(workers, list) and workers:
+        stalled = int(status.get("n_workers_stalled", 0))  # type: ignore[arg-type]
+        lines.append(
+            f"workers: {len(workers)} seen, {stalled} stalled"
+        )
+        for worker in workers:
+            mark = "STALLED" if worker.get("stalled") else (
+                "busy" if worker.get("in_flight") else "idle"
+            )
+            item = f"  on {worker.get('item')}" if worker.get("item") else ""
+            lines.append(
+                f"  pid {worker.get('pid')}: {mark}, "
+                f"{worker.get('items_done')} done, "
+                f"beat {worker.get('age_s')}s ago{item}"
+            )
+    counters = status.get("counters")
+    if isinstance(counters, dict) and counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<46} {counters[name]:>12}")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    interval = (
+        args.interval
+        if args.interval is not None
+        else max(0.2, get_int("REPRO_OBS_FLUSH_MS") / 1e3)
+    )
+    while True:
+        status = load_status(args.dir)
+        if status is None:
+            if args.once:
+                sys.stderr.write(
+                    f"ERROR: no readable status.json under {args.dir}\n"
+                )
+                return 1
+            sys.stderr.write(
+                f"waiting for {args.dir}/status.json ...\n"
+            )
+        elif args.json:
+            sys.stdout.write(json.dumps(status, sort_keys=True) + "\n")
+        else:
+            if not args.once:
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+            sys.stdout.write(_render_status(status))
+            sys.stdout.flush()
+        if args.once or (status is not None and status.get("final")):
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    records = read_ledger(args.dir)
+    if args.entry:
+        records = [r for r in records if r.get("entry") == args.entry]
+    if args.last:
+        records = records[-args.last:]
+    if not records:
+        sys.stderr.write("no runs recorded\n")
+        return 0
+    if args.json:
+        for record in records:
+            sys.stdout.write(json.dumps(record, sort_keys=True) + "\n")
+        return 0
+    sys.stdout.write(
+        f"{'run_id':<14} {'when':<20} {'entry':<24} "
+        f"{'status':<8} {'dur_s':>8}  git\n"
+    )
+    for record in records:
+        when = time.strftime(
+            "%Y-%m-%d %H:%M:%S",
+            time.localtime(float(record.get("t", 0.0))),  # type: ignore[arg-type]
+        )
+        duration = record.get("duration_s")
+        sys.stdout.write(
+            f"{record.get('run_id', '?'):<14} {when:<20} "
+            f"{str(record.get('entry', '?')):<24} "
+            f"{str(record.get('status', '?')):<8} "
+            f"{duration if duration is not None else '-':>8}  "
+            f"{record.get('git_rev', '?')}\n"
+        )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    records = read_ledger(args.dir)
+    try:
+        old = resolve_run(records, args.old)
+        new = resolve_run(records, args.new)
+    except ValueError as exc:
+        sys.stderr.write(f"ERROR: {exc}\n")
+        return 2
+    result = diff_runs(old, new, threshold_pct=args.threshold_pct)
+    if args.json:
+        sys.stdout.write(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    else:
+        sys.stdout.write(
+            f"diff {result['old_run']} -> {result['new_run']} "
+            f"(threshold {result['threshold_pct']}%)\n"
+        )
+        rows = result["rows"]
+        if not rows:
+            sys.stdout.write("nothing comparable between these runs\n")
+        for row in rows:  # type: ignore[union-attr]
+            mark = (
+                "REGRESSION"
+                if row["flagged"] and float(row["pct"]) > 0  # type: ignore[arg-type]
+                else "improved"
+                if row["flagged"]
+                else ""
+            )
+            sys.stdout.write(
+                f"  {row['kind']:<8} {str(row['name']):<44} "
+                f"{row['old']:>12} -> {row['new']:>12} "
+                f"({row['pct']:+.1f}%) {mark}\n"
+            )
+    regressions = result["regressions"]
+    if regressions:
+        sys.stderr.write(
+            f"ERROR: {len(regressions)} regression(s) beyond "  # type: ignore[arg-type]
+            f"{result['threshold_pct']}%\n"
+        )
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Inspect repro observability traces.",
+        description="Inspect repro observability traces, live runs, and the run ledger.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    report = sub.add_parser("report", help="aggregate and render a JSONL trace")
-    report.add_argument("path", help="trace file written by --trace")
+
+    report = sub.add_parser(
+        "report", help="aggregate and render one or more JSONL traces"
+    )
+    report.add_argument(
+        "paths",
+        nargs="+",
+        help="trace files written by --trace (globs like 'dir/*.jsonl' expand)",
+    )
     report.add_argument(
         "--json", action="store_true", help="emit the aggregate as JSON"
     )
     report.add_argument(
         "--check",
         action="store_true",
-        help="validate the trace and exit non-zero on problems",
+        help="validate each trace and exit non-zero on problems",
     )
-    args = parser.parse_args(argv)
 
+    tail = sub.add_parser(
+        "tail", help="watch a running campaign/experiment's live status"
+    )
+    tail.add_argument("dir", help="live directory passed to --live")
+    tail.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    tail.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="refresh seconds (default: the REPRO_OBS_FLUSH_MS knob)",
+    )
+    tail.add_argument(
+        "--json", action="store_true", help="emit raw status.json frames"
+    )
+
+    runs = sub.add_parser("runs", help="list the run ledger")
+    runs.add_argument(
+        "--dir", default=None, help="ledger directory (default: REPRO_LEDGER_DIR)"
+    )
+    runs.add_argument("--entry", default=None, help="filter by entrypoint name")
+    runs.add_argument(
+        "--last", type=int, default=None, help="show only the last N runs"
+    )
+    runs.add_argument(
+        "--json", action="store_true", help="emit records as JSONL"
+    )
+
+    diff = sub.add_parser(
+        "diff", help="compare two ledger runs; exit 1 on perf regression"
+    )
+    diff.add_argument("old", help="baseline run (id, prefix, last, last~N)")
+    diff.add_argument("new", help="candidate run (id, prefix, last, last~N)")
+    diff.add_argument(
+        "--dir", default=None, help="ledger directory (default: REPRO_LEDGER_DIR)"
+    )
+    diff.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=None,
+        help="flag changes beyond this percent (default: REPRO_LEDGER_DIFF_PCT)",
+    )
+    diff.add_argument(
+        "--json", action="store_true", help="emit the full comparison as JSON"
+    )
+
+    args = parser.parse_args(argv)
     if args.command == "report":
-        if args.check:
-            problems = validate(args.path)
-            if problems:
-                for problem in problems:
-                    sys.stderr.write(f"ERROR: {problem}\n")
-                return 1
-            sys.stderr.write(f"OK: {args.path} is a valid trace\n")
-            return 0
-        try:
-            parsed = load(args.path)
-        except (OSError, ValueError) as exc:
-            sys.stderr.write(f"ERROR: {exc}\n")
-            return 1
-        sys.stdout.write(render_json(parsed) if args.json else render_text(parsed))
-        return 0
+        return _cmd_report(args)
+    if args.command == "tail":
+        return _cmd_tail(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     return 2
 
 

@@ -1,0 +1,384 @@
+# replint: disable-file=REP003 -- live telemetry's entire product is
+# wall-clock status; no experiment data derives from it.
+"""Live telemetry: in-flight status files for long-running drivers.
+
+:mod:`repro.obs` (spans + metrics) is post-hoc — nothing reaches disk
+until a run finishes, so an hours-long campaign is a black box while it
+runs.  This module adds the *live* layer: a background flusher thread
+that, every ``REPRO_OBS_FLUSH_MS`` milliseconds, atomically snapshots
+the active collector into a status directory:
+
+* ``status.json`` — one atomically-replaced document with the metrics
+  snapshot, the currently-open span stack, driver progress
+  (done/total, quarantined, retries, rate, ETA), and per-worker
+  heartbeat health.  Readers (``python -m repro.obs tail``) always see
+  a complete document or the previous one — never a torn write.
+* ``metrics.jsonl`` — an append-only time series, one sample per flush
+  (single ``O_APPEND`` write, so a crash can tear at most the final
+  line and concurrent readers still parse every completed line).
+* ``heartbeats/hb-<pid>.json`` — written by pool workers through
+  :class:`repro.obs.trace.WorkerTask`; the flusher folds them into
+  ``status.json`` and flags a worker whose heartbeat is older than
+  ``REPRO_OBS_FLUSH_STALL_S`` seconds as **stalled** (a crashed worker
+  leaves ``in_flight: true`` behind forever, which reads the same way).
+
+Progress is pushed by drivers via :func:`update_progress` — a no-op
+(one attribute check) unless a flusher is active, preserving the
+zero-overhead-when-off invariant.  The flusher never raises into the
+instrumented run: a full disk or unwritable directory degrades to a
+rate-limited warning.
+
+Activation: entrypoints pass ``--live DIR`` (or set
+``REPRO_OBS_LIVE_DIR``), which implies ``REPRO_OBS=1``.  See DESIGN.md
+§16 for the file formats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..util.io import atomic_append_line, atomic_write_json
+from ..util.knobs import get_float, get_int, get_path
+from . import log as _log
+from .trace import Collector, activate
+
+__all__ = [
+    "LiveFlusher",
+    "STATUS_FORMAT",
+    "active_flusher",
+    "heartbeat_dir",
+    "load_status",
+    "read_metrics_series",
+    "resolve_live_dir",
+    "start_live",
+    "stop_live",
+    "update_progress",
+]
+
+STATUS_FORMAT = 1
+
+#: Currently-running flusher (at most one per process).
+_flusher: Optional["LiveFlusher"] = None
+_state_lock = threading.Lock()
+
+
+def resolve_live_dir(cli_value: Optional[str] = None) -> Optional[str]:
+    """The live directory to use: CLI argument, else the knob, else none."""
+    if cli_value:
+        return cli_value
+    from_knob = get_path("REPRO_OBS_LIVE_DIR")
+    return from_knob or None
+
+
+class LiveFlusher:
+    """Background thread snapshotting collector state to a directory.
+
+    One instance per run; use the module-level :func:`start_live` /
+    :func:`stop_live` pair from entrypoints.  All writes are atomic or
+    line-append, so a SIGKILL at any instant leaves ``status.json``
+    either absent, the previous snapshot, or the new one — and
+    ``metrics.jsonl`` with at worst one torn final line.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        flush_ms: Optional[int] = None,
+        collector: Optional[Collector] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.flush_ms = (
+            flush_ms if flush_ms is not None else get_int("REPRO_OBS_FLUSH_MS")
+        )
+        self.stall_s = get_float("REPRO_OBS_FLUSH_STALL_S")
+        self.collector = (
+            collector if collector is not None else activate()
+        )
+        self.t0 = time.time()
+        self.seq = 0
+        self._progress: Dict[str, object] = {}
+        self._progress_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "LiveFlusher":
+        """Create the directory, clear stale heartbeats, start flushing."""
+        hb = self.directory / "heartbeats"
+        hb.mkdir(parents=True, exist_ok=True)
+        for stale in hb.glob("hb-*.json"):
+            try:
+                stale.unlink()
+            except OSError:  # racing cleanup: stale files only age out of the display
+                pass
+        self.flush_once()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-flusher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and write one final (complete) snapshot."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=max(5.0, self.flush_ms / 1e3 * 4))
+            self._thread = None
+        self.flush_once(final=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.flush_ms / 1e3):
+            self.flush_once()
+
+    # -- progress ------------------------------------------------------------
+    def set_progress(self, **fields: object) -> None:
+        """Merge driver-reported progress fields into the next snapshot.
+
+        Conventional fields: ``phase`` (str), ``total``/``done``/
+        ``quarantined``/``retries`` (numbers), ``unit`` (str).  Rate and
+        ETA are derived at flush time from ``done`` and elapsed wall
+        time, so drivers only ever push raw counts.
+        """
+        with self._progress_lock:
+            self._progress.update(fields)
+
+    def _progress_snapshot(self, elapsed_s: float) -> Dict[str, object]:
+        with self._progress_lock:
+            progress = dict(self._progress)
+        done = progress.get("done")
+        total = progress.get("total")
+        if isinstance(done, (int, float)) and elapsed_s > 0:
+            rate = done / elapsed_s
+            progress["rate_per_s"] = round(rate, 4)
+            if isinstance(total, (int, float)) and total > 0:
+                progress["pct"] = round(100.0 * done / total, 2)
+                progress["eta_s"] = (
+                    round((total - done) / rate, 1) if rate > 0 else None
+                )
+        return progress
+
+    # -- heartbeat folding ---------------------------------------------------
+    def _worker_health(self, now: float) -> List[Dict[str, object]]:
+        workers: List[Dict[str, object]] = []
+        hb_dir = self.directory / "heartbeats"
+        try:
+            files = sorted(hb_dir.glob("hb-*.json"))
+        except OSError:
+            return workers
+        for path in files:
+            try:
+                beat = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue  # torn or vanished heartbeat: skip this cycle
+            pid = int(beat.get("pid", 0))
+            updated = float(beat.get("updated", 0.0))
+            age = max(0.0, now - updated)
+            in_flight = bool(beat.get("in_flight", False))
+            alive = _pid_alive(pid)
+            stalled = in_flight and (age > self.stall_s or not alive)
+            if stalled:
+                _log.warning(
+                    f"live: worker {pid} looks stalled "
+                    f"({'dead' if not alive else f'{age:.1f}s silent'} "
+                    f"on {beat.get('item', '?')})",
+                    key="obs.live.stalled_worker",
+                )
+            workers.append(
+                {
+                    "pid": pid,
+                    "alive": alive,
+                    "in_flight": in_flight,
+                    "item": beat.get("item", ""),
+                    "items_done": int(beat.get("items_done", 0)),
+                    "age_s": round(age, 2),
+                    "stalled": stalled,
+                }
+            )
+        return workers
+
+    # -- the flush -----------------------------------------------------------
+    def flush_once(self, final: bool = False) -> Optional[Dict[str, object]]:
+        """Write one ``status.json`` + one ``metrics.jsonl`` sample.
+
+        Returns the status document (handy for tests), or ``None`` when
+        the write failed — telemetry errors degrade to a rate-limited
+        warning, never into the run being observed.
+        """
+        now = time.time()
+        elapsed = max(0.0, now - self.t0)
+        metrics = self.collector.metrics.snapshot()
+        counters = {
+            name: payload["value"]
+            for name, payload in metrics.items()
+            if payload.get("kind") == "counter"
+        }
+        gauges = {
+            name: payload["value"]
+            for name, payload in metrics.items()
+            if payload.get("kind") == "gauge"
+        }
+        progress = self._progress_snapshot(elapsed)
+        workers = self._worker_health(now)
+        self.seq += 1
+        status: Dict[str, object] = {
+            "format": STATUS_FORMAT,
+            "pid": os.getpid(),
+            "t0": round(self.t0, 3),
+            "updated": round(now, 3),
+            "elapsed_s": round(elapsed, 3),
+            "seq": self.seq,
+            "flush_ms": self.flush_ms,
+            "final": final,
+            "progress": progress,
+            "open_spans": self.collector.open_spans(),
+            "n_spans": len(self.collector.spans),
+            "counters": counters,
+            "gauges": gauges,
+            "workers": workers,
+            "n_workers_stalled": sum(1 for w in workers if w["stalled"]),
+        }
+        sample = {
+            "t": round(now, 3),
+            "seq": self.seq,
+            "elapsed_s": round(elapsed, 3),
+            "counters": counters,
+            "progress": {
+                key: progress[key]
+                for key in ("done", "total", "rate_per_s")
+                if key in progress
+            },
+        }
+        try:
+            atomic_write_json(self.directory / "status.json", status)
+            atomic_append_line(
+                self.directory / "metrics.jsonl",
+                json.dumps(sample, sort_keys=True),
+            )
+        except OSError as exc:
+            _log.warning(
+                f"live: telemetry flush failed: {exc}", key="obs.live.flush"
+            )
+            return None
+        return status
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a live process we may signal (best effort)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+# -- module-level lifecycle ---------------------------------------------------
+
+
+def start_live(
+    directory: Union[str, Path], flush_ms: Optional[int] = None
+) -> LiveFlusher:
+    """Activate observability and start the live flusher for this process.
+
+    Idempotent per directory: a second call replaces the previous
+    flusher (stopping it cleanly).  Entrypoints call this when
+    ``--live DIR`` / ``REPRO_OBS_LIVE_DIR`` is set.
+    """
+    global _flusher
+    activate()
+    with _state_lock:
+        if _flusher is not None:
+            _flusher.stop()
+        _flusher = LiveFlusher(directory, flush_ms=flush_ms).start()
+        return _flusher
+
+
+def stop_live() -> Optional[LiveFlusher]:
+    """Stop the active flusher (final flush included); returns it."""
+    global _flusher
+    with _state_lock:
+        flusher, _flusher = _flusher, None
+    if flusher is not None:
+        flusher.stop()
+        _log.flush_suppressed()
+    return flusher
+
+
+def active_flusher() -> Optional[LiveFlusher]:
+    """The running :class:`LiveFlusher`, or ``None``."""
+    return _flusher
+
+
+def heartbeat_dir() -> Optional[str]:
+    """Worker heartbeat directory while live telemetry is on, else ``None``.
+
+    :func:`repro.util.parallel.parallel_map` stamps this onto its
+    :class:`~repro.obs.trace.WorkerTask` so pool workers know where to
+    publish liveness.
+    """
+    flusher = _flusher
+    if flusher is None:
+        return None
+    return str(flusher.directory / "heartbeats")
+
+
+def update_progress(**fields: object) -> None:
+    """Push driver progress (``done=…, total=…``) to the live snapshot.
+
+    A single attribute check when no flusher is running, so
+    instrumented drivers can call it unconditionally.
+    """
+    flusher = _flusher
+    if flusher is None:
+        return
+    flusher.set_progress(**fields)
+
+
+# -- reading side (the tail CLI, tests, CI asserts) ---------------------------
+
+
+def load_status(directory: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Parse ``status.json`` from a live directory; ``None`` if unreadable.
+
+    ``status.json`` is atomically replaced, so a reader either gets a
+    complete document or none; garbage (torn by a non-atomic copy,
+    truncated by a dying filesystem) reads as ``None`` rather than an
+    exception — the tail CLI keeps polling.
+    """
+    try:
+        raw = (Path(directory) / "status.json").read_text(encoding="utf-8")
+        status = json.loads(raw)
+    except (OSError, ValueError):
+        return None
+    return status if isinstance(status, dict) else None
+
+
+def read_metrics_series(
+    directory: Union[str, Path], last: Optional[int] = None
+) -> List[Dict[str, object]]:
+    """Parse the ``metrics.jsonl`` time series, skipping torn lines."""
+    path = Path(directory) / "metrics.jsonl"
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return []
+    samples: List[Dict[str, object]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            sample = json.loads(line)
+        except ValueError:
+            continue  # torn line from a killed writer
+        if isinstance(sample, dict):
+            samples.append(sample)
+    return samples[-last:] if last else samples

@@ -28,6 +28,7 @@ __all__ = [
     "PathStats",
     "Report",
     "load",
+    "load_many",
     "render_json",
     "render_text",
     "validate",
@@ -136,6 +137,76 @@ def load(path: str) -> Report:
                 f"{path}:{lineno}: unknown record type {kind!r}"
             )
     return report
+
+
+def load_many(paths: List[str]) -> Report:
+    """Merge several trace files (e.g. per-shard traces) into one report.
+
+    Path stats sum across files; metrics merge by kind — counters and
+    histogram buckets add, gauges keep the last file's value (file
+    order, which callers keep deterministic by sorting glob expansions).
+    ``meta`` reports the merge itself: file count, summed spans, and
+    the max declared duration (shards overlap in time, so summing
+    durations would double-count the wall clock).
+    """
+    if not paths:
+        raise ValueError("load_many needs at least one trace file")
+    if len(paths) == 1:
+        return load(paths[0])
+    merged = Report()
+    duration = 0.0
+    for path in paths:
+        part = load(path)
+        for span_path, stats in part.paths.items():
+            into = merged.paths.get(span_path)
+            if into is None:
+                into = merged.paths[span_path] = PathStats(path=span_path)
+            into.calls += stats.calls
+            into.cum_ms += stats.cum_ms
+            into.self_ms += stats.self_ms
+            into.cpu_ms += stats.cpu_ms
+            into.errors += stats.errors
+            into.mem_peak_kb = max(into.mem_peak_kb, stats.mem_peak_kb)
+        merged.n_spans += part.n_spans
+        for name, payload in part.metrics.items():
+            into_payload = merged.metrics.get(name)
+            if into_payload is None:
+                merged.metrics[name] = dict(payload)
+                continue
+            kind = payload.get("kind")
+            if kind == "counter":
+                into_payload["value"] = (
+                    float(into_payload.get("value", 0))  # type: ignore[arg-type]
+                    + float(payload.get("value", 0))  # type: ignore[arg-type]
+                )
+            elif kind == "gauge":
+                into_payload["value"] = payload.get("value")
+            elif kind == "histogram":
+                into_payload["counts"] = [
+                    a + b
+                    for a, b in zip(
+                        into_payload.get("counts", []),  # type: ignore[arg-type]
+                        payload.get("counts", []),  # type: ignore[arg-type]
+                    )
+                ]
+                into_payload["total"] = (
+                    float(into_payload.get("total", 0.0))  # type: ignore[arg-type]
+                    + float(payload.get("total", 0.0))  # type: ignore[arg-type]
+                )
+                into_payload["count"] = (
+                    int(into_payload.get("count", 0))  # type: ignore[arg-type]
+                    + int(payload.get("count", 0))  # type: ignore[arg-type]
+                )
+        declared = part.meta.get("duration_s")
+        if isinstance(declared, (int, float)):
+            duration = max(duration, float(declared))
+    merged.meta = {
+        "type": "meta",
+        "merged": len(paths),
+        "n_spans": merged.n_spans,
+        "duration_s": round(duration, 6),
+    }
+    return merged
 
 
 def _fold_span(report: Report, line: Dict[str, object], where: str) -> None:

@@ -30,6 +30,8 @@ __all__ = [
     "env_flag",
     "env_float",
     "env_int",
+    "env_path",
+    "env_snapshot",
     "env_str",
     "reset_env_warnings",
 ]
@@ -129,6 +131,32 @@ def env_float(
         )
         return minimum
     return value
+
+
+def env_path(name: str, default: str = "") -> str:
+    """Read a filesystem-path knob verbatim (no lowercasing, no choices).
+
+    Paths are case-sensitive on most filesystems, so unlike
+    :func:`env_str` the raw value is preserved; only surrounding
+    whitespace is stripped.  Unset returns ``default``.
+    """
+    raw = _raw(name)
+    return raw if raw else default
+
+
+def env_snapshot(names: Sequence[str]) -> dict:
+    """``{name: raw value}`` for every listed variable that is set.
+
+    Used by the run ledger to record which knobs a run was launched
+    with — values are reported verbatim, exactly as the process saw
+    them, so a ledger diff can explain a regression by configuration.
+    """
+    out = {}
+    for name in names:
+        raw = os.environ.get(name)
+        if raw is not None and raw.strip():
+            out[name] = raw.strip()
+    return out
 
 
 def env_str(

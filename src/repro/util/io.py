@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Union
 
 __all__ = [
+    "atomic_append_line",
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_text",
@@ -51,6 +52,30 @@ def atomic_write_bytes(path: PathLike, payload: bytes) -> None:
         except OSError:  # staging already consumed by os.replace
             pass
         raise
+
+
+def atomic_append_line(path: PathLike, line: str) -> None:
+    """Append one line to ``path`` with a single ``O_APPEND`` write.
+
+    Multiple processes appending concurrently (ledger records, live
+    metric samples) interleave at *line* granularity: the payload is one
+    ``os.write`` on an ``O_APPEND`` descriptor, which POSIX serializes
+    for regular files, so readers never see two records spliced into one
+    line.  A crash mid-write can still leave a torn *final* line, which
+    every reader of these files tolerates (and the next append starts on
+    a fresh line only if the previous one completed — callers therefore
+    parse line-by-line and skip garbage).
+    """
+    if "\n" in line.rstrip("\n"):
+        raise ValueError("atomic_append_line takes exactly one line")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = (line.rstrip("\n") + "\n").encode("utf-8")
+    fd = os.open(target, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, payload)
+    finally:
+        os.close(fd)
 
 
 def atomic_write_text(path: PathLike, text: str) -> None:

@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
-from .env import env_flag, env_float, env_int, env_str
+from .env import env_flag, env_float, env_int, env_path, env_snapshot, env_str
 
 __all__ = [
     "KNOBS",
@@ -41,7 +41,9 @@ __all__ = [
     "get_flag",
     "get_float",
     "get_int",
+    "get_path",
     "get_str",
+    "knob_snapshot",
     "knob_table_markdown",
 ]
 
@@ -55,7 +57,8 @@ class Knob:
 
     Attributes:
         name: environment variable, ``REPRO_``-prefixed.
-        kind: ``"flag"``, ``"int"``, ``"float"`` or ``"choice"``.
+        kind: ``"flag"``, ``"int"``, ``"float"``, ``"choice"`` or
+            ``"path"`` (a verbatim, case-preserving filesystem path).
         default: value used when the variable is unset or rejected.
         doc: one-line effect description (becomes the README table cell).
         minimum: floor for numeric knobs; values below it clamp with a
@@ -106,7 +109,7 @@ def _declare(*knobs: Knob) -> Dict[str, Knob]:
             raise ValueError(f"knob {knob.name!r} must be REPRO_-prefixed")
         if knob.name in registry:
             raise ValueError(f"duplicate knob declaration {knob.name!r}")
-        if knob.kind not in ("flag", "int", "float", "choice"):
+        if knob.kind not in ("flag", "int", "float", "choice", "path"):
             raise ValueError(f"{knob.name}: unknown kind {knob.kind!r}")
         if knob.kind == "choice" and not knob.choices:
             raise ValueError(f"{knob.name}: choice knob needs choices")
@@ -306,6 +309,67 @@ KNOBS: Dict[str, Knob] = _declare(
         ),
     ),
     Knob(
+        name="REPRO_OBS_FLUSH_MS",
+        kind="int",
+        default=1000,
+        minimum=50,
+        doc=(
+            "live-telemetry flush cadence in milliseconds: how often the "
+            "background flusher snapshots `status.json` and appends to "
+            "`metrics.jsonl` while a live directory is active"
+        ),
+    ),
+    Knob(
+        name="REPRO_OBS_FLUSH_STALL_S",
+        kind="float",
+        default=10.0,
+        minimum=0.1,
+        doc=(
+            "seconds since a worker's last heartbeat update before the "
+            "live flusher flags it as stalled in `status.json`"
+        ),
+    ),
+    Knob(
+        name="REPRO_OBS_LIVE_DIR",
+        kind="path",
+        default="",
+        default_label="(unset)",
+        alias="`--live DIR`",
+        doc=(
+            "directory for live telemetry (`status.json`, "
+            "`metrics.jsonl`, worker heartbeats); setting it activates "
+            "observability and the background flusher on entrypoints"
+        ),
+    ),
+    Knob(
+        name="REPRO_LEDGER",
+        kind="flag",
+        default=True,
+        doc=(
+            "set `0` to disable appending run records to the persistent "
+            "run ledger from experiment/benchmark entrypoints"
+        ),
+    ),
+    Knob(
+        name="REPRO_LEDGER_DIR",
+        kind="path",
+        default=".repro-runs",
+        doc=(
+            "run-ledger directory; records append to "
+            "`<dir>/ledger.jsonl` (`python -m repro.obs runs` lists them)"
+        ),
+    ),
+    Knob(
+        name="REPRO_LEDGER_DIFF_PCT",
+        kind="float",
+        default=20.0,
+        minimum=0.0,
+        doc=(
+            "default regression threshold (percent) for `python -m "
+            "repro.obs diff` and the ledger-backed bench gate"
+        ),
+    ),
+    Knob(
         name="REPRO_CAMPAIGN_SHARD_SIZE",
         kind="int",
         default=16,
@@ -420,6 +484,21 @@ def get_str(name: str) -> str:
     """Read a declared choice knob (unknown spellings warn and fall back)."""
     knob = _knob(name, "choice")
     return env_str(name, str(knob.default), choices=knob.choices)
+
+
+def get_path(name: str) -> str:
+    """Read a declared path knob verbatim (empty string when unset)."""
+    knob = _knob(name, "path")
+    return env_path(name, str(knob.default))
+
+
+def knob_snapshot() -> Dict[str, str]:
+    """Raw values of every declared knob that is set in the environment.
+
+    The run ledger stamps this onto every record so a cross-run diff can
+    attribute a regression to configuration, not just code.
+    """
+    return env_snapshot(sorted(KNOBS))
 
 
 def knob_table_markdown() -> str:

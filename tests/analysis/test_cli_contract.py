@@ -89,10 +89,10 @@ class TestJsonGolden:
 
 
 class TestListRules:
-    def test_all_thirteen_codes_listed(self, capsys):
+    def test_all_fourteen_codes_listed(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for n in range(1, 14):
+        for n in range(1, 15):
             assert f"REP{n:03d}" in out
         for name in ("dtype-flow", "parallel-safety", "span-coverage",
                      "knob-liveness", "unused-suppression"):

@@ -348,7 +348,7 @@ class TestRep011SpanCoverage:
             __all__ = ["capture_all"]
             def capture_all(traces):
                 out = []
-                with span("capture", n=len(traces)):
+                with span("power.capture", n=len(traces)):
                     for trace in traces:
                         out.append(trace)
                 return out
@@ -364,7 +364,7 @@ class TestRep011SpanCoverage:
             '''
             from ..obs import traced
             __all__ = ["capture_all"]
-            @traced("capture")
+            @traced("power.capture")
             def capture_all(traces):
                 return [trace for trace in traces]
             ''',
@@ -376,7 +376,7 @@ class TestRep011SpanCoverage:
             '''
             from ..obs import traced
             __all__ = ["capture_all"]
-            @traced("capture")
+            @traced("power.capture")
             def capture_all(traces):
                 out = []
                 for trace in traces:
@@ -448,7 +448,7 @@ class TestRep011SpanCoverage:
             from ..obs import span
             __all__ = []
             def _iterate(traces):
-                with span("scan", n=len(traces)):
+                with span("power.scan", n=len(traces)):
                     for trace in traces:
                         pass
             ''',

@@ -631,6 +631,121 @@ class TestRep008Printing:
         assert codes(lint(tmp_path)) == []
 
 
+class TestRep014MetricNames:
+    def test_fires_on_fstring_span_name(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/dynamic.py",
+            '''
+            from repro.obs.trace import span
+            __all__ = ["capture"]
+            def capture(mode, traces):
+                with span(f"capture.{mode}"):
+                    return list(traces)
+            ''',
+        )
+        assert "REP014" in codes(lint(tmp_path))
+
+    def test_fires_on_concatenated_counter_name(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/dynamic.py",
+            '''
+            from repro.obs import trace as _obs
+            __all__ = ["hit"]
+            def hit(kind):
+                _obs.counter("cache_" + kind).inc()
+            ''',
+        )
+        assert "REP014" in codes(lint(tmp_path))
+
+    def test_fires_on_convention_breaking_literal(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/shouty.py",
+            '''
+            from repro.obs import trace as _obs
+            __all__ = ["hit"]
+            def hit():
+                _obs.counter("CacheHits").inc()
+                _obs.gauge("undotted").set(1.0)
+            ''',
+        )
+        assert codes(lint(tmp_path)).count("REP014") == 2
+
+    def test_quiet_on_dotted_literals(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/clean.py",
+            '''
+            from repro.obs import trace as _obs
+            from repro.obs.trace import span
+            __all__ = ["capture"]
+            def capture(traces):
+                with span("capture.class", n=len(traces)):
+                    _obs.counter("trace_cache.hits").inc()
+                    _obs.gauge("parallel.worker_utilization").set(0.5)
+                    _obs.histogram("parallel.task_ms").observe(2.0)
+                return traces
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_quiet_in_obs_package_itself(self, tmp_path):
+        # The obs helpers forward caller-supplied names by design.
+        write(
+            tmp_path,
+            "src/repro/obs/forwarder.py",
+            '''
+            __all__ = ["counter"]
+            def counter(registry, name):
+                return registry.counter(name)
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_quiet_in_tests(self, tmp_path):
+        write(
+            tmp_path,
+            "tests/test_span_names.py",
+            '''
+            from repro.obs.trace import span
+            def test_spans(name):
+                with span(f"test.{name}"):
+                    pass
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_waiver_for_bounded_name_set(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/power/staged.py",
+            '''
+            from repro.obs.trace import span
+            __all__ = ["stage"]
+            def stage(name, compute):
+                with span(f"stage.{name}"):  # replint: disable=REP014 -- stage names are a fixed set
+                    return compute()
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+    def test_unrelated_calls_untouched(self, tmp_path):
+        # Only the five obs factories are name-checked; other APIs that
+        # happen to share a method name pass untouched.
+        write(
+            tmp_path,
+            "src/repro/power/other.py",
+            '''
+            __all__ = ["tally"]
+            def tally(collections_counter, items):
+                return collections_counter(items)
+            ''',
+        )
+        assert codes(lint(tmp_path)) == []
+
+
 class TestSuppressions:
     def test_line_suppression_silences_one_code(self, tmp_path):
         write(
@@ -788,7 +903,7 @@ class TestRunnerAndCli:
         for code in (
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
             "REP007", "REP008", "REP009", "REP010", "REP011", "REP012",
-            "REP013",
+            "REP013", "REP014",
         ):
             assert code in out
 
@@ -838,4 +953,4 @@ class TestRepoIsClean:
         # each shipped rule code.
         from repro.analysis.core import RULE_REGISTRY
 
-        assert set(RULE_REGISTRY) == {f"REP{n:03d}" for n in range(1, 14)}
+        assert set(RULE_REGISTRY) == {f"REP{n:03d}" for n in range(1, 15)}

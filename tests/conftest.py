@@ -1,0 +1,17 @@
+"""Suite-wide fixtures.
+
+The run ledger (:mod:`repro.obs.ledger`) is on by default so real
+entrypoint invocations always leave a history — but tests invoke those
+entrypoints' ``main()`` constantly, and each would append a record under
+the working directory.  Disable it globally; ledger tests opt back in
+with ``monkeypatch.setenv("REPRO_LEDGER", "1")`` plus an explicit
+``REPRO_LEDGER_DIR`` under ``tmp_path``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_ledger_writes(monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+    yield

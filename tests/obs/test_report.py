@@ -5,7 +5,13 @@ import json
 import pytest
 
 from repro.obs import __main__ as obs_cli
-from repro.obs.report import load, render_json, render_text, validate
+from repro.obs.report import (
+    load,
+    load_many,
+    render_json,
+    render_text,
+    validate,
+)
 from repro.obs.sinks import derive_rates, maybe_export, summarize, write_jsonl
 from repro.obs.trace import Collector, activate, span
 
@@ -184,3 +190,104 @@ class TestCli:
             handle.write(json.dumps({"type": "meta", "n_spans": 0}) + "\n")
         assert obs_cli.main(["report", path, "--check"]) == 1
         assert "ERROR" in capsys.readouterr().err
+
+
+class TestLoadMany:
+    def _write_two(self, tmp_path):
+        from repro.obs.trace import deactivate
+
+        paths = []
+        for index in range(2):
+            collector = _traced_collector()
+            path = str(tmp_path / f"shard-{index}.jsonl")
+            write_jsonl(collector, path)
+            deactivate()
+            paths.append(path)
+        return paths
+
+    def test_merge_sums_paths_and_counters(self, tmp_path):
+        paths = self._write_two(tmp_path)
+        merged = load_many(paths)
+        assert merged.n_spans == 8
+        assert merged.paths["experiment.demo/cwt.batch"].calls == 4
+        assert merged.metrics["trace_cache.hits"]["value"] == 6
+        assert merged.metrics["parallel.task_ms"]["count"] == 2
+        assert merged.meta["merged"] == 2
+        assert merged.meta["n_spans"] == 8
+
+    def test_gauge_takes_last_file(self, tmp_path):
+        paths = self._write_two(tmp_path)
+        second = json.loads(
+            open(paths[1]).readlines()[-2]
+        )  # gauge line of file 2
+        merged = load_many(paths)
+        util = merged.metrics["parallel.worker_utilization"]["value"]
+        assert util == 0.75
+        assert second is not None  # sanity: file 2 parsed
+
+    def test_duration_is_max_not_sum(self, tmp_path):
+        paths = self._write_two(tmp_path)
+        for index, path in enumerate(paths):
+            lines = open(path).read().splitlines()
+            meta = json.loads(lines[0])
+            meta["duration_s"] = 10.0 * (index + 1)
+            lines[0] = json.dumps(meta)
+            open(path, "w").write("\n".join(lines) + "\n")
+        merged = load_many(paths)
+        assert merged.meta["duration_s"] == 20.0
+
+    def test_single_path_is_plain_load(self, tmp_path):
+        (path,) = [self._write_two(tmp_path)[0]]
+        merged = load_many([path])
+        assert merged.meta.get("merged") is None
+        assert merged.n_spans == 4
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            load_many([])
+
+
+class TestCliMultiTrace:
+    def test_report_merges_multiple_files(self, tmp_path, capsys):
+        from repro.obs.trace import deactivate
+
+        for index in range(2):
+            write_jsonl(
+                _traced_collector(), str(tmp_path / f"s{index}.jsonl")
+            )
+            deactivate()
+        code = obs_cli.main(
+            [
+                "report",
+                str(tmp_path / "s0.jsonl"),
+                str(tmp_path / "s1.jsonl"),
+            ]
+        )
+        assert code == 0
+        assert "8 spans" in capsys.readouterr().out
+
+    def test_report_expands_globs(self, tmp_path, capsys):
+        from repro.obs.trace import deactivate
+
+        for index in range(3):
+            write_jsonl(
+                _traced_collector(), str(tmp_path / f"s{index}.jsonl")
+            )
+            deactivate()
+        code = obs_cli.main(["report", str(tmp_path / "s*.jsonl")])
+        assert code == 0
+        assert "12 spans" in capsys.readouterr().out
+
+    def test_check_validates_every_file(self, tmp_path, capsys):
+        from repro.obs.trace import deactivate
+
+        good = str(tmp_path / "good.jsonl")
+        write_jsonl(_traced_collector(), good)
+        deactivate()
+        bad = str(tmp_path / "bad.jsonl")
+        open(bad, "w").write("not json at all\n{}\n")
+        code = obs_cli.main(["report", good, bad, "--check"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "OK: " + good in err
+        assert "ERROR" in err

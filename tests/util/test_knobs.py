@@ -36,6 +36,7 @@ class TestDeclarations:
             "int",
             "float",
             "choice",
+            "path",
         }
 
     def test_choice_knobs_default_to_a_choice_or_auto(self):
